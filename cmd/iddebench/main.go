@@ -1,0 +1,159 @@
+// Command iddebench regenerates the paper's evaluation: Table 2 and
+// Figures 1 and 3–7. Each figure's data is printed as a markdown table
+// and optionally written as CSV series for plotting.
+//
+// Usage:
+//
+//	iddebench -list                 # print Table 2
+//	iddebench -fig 3                # regenerate Figure 3 (Set #1)
+//	iddebench -fig 0 -reps 50       # everything, at the paper's budget
+//	iddebench -fig 4 -out results/  # also write CSV files
+//
+// The IDDE-IP baseline's solver budget defaults to 500ms per instance
+// (the paper caps CPLEX at 100 s; see DESIGN.md §4); raise it with
+// -ip-budget for higher-fidelity IP results, or drop IP entirely with
+// -no-ip for quick sweeps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"idde/internal/baseline"
+	"idde/internal/cloudlat"
+	"idde/internal/experiment"
+	"idde/internal/rng"
+	"idde/internal/viz"
+)
+
+func main() {
+	var (
+		fig      = flag.Int("fig", 0, "figure to regenerate: 1, 3, 4, 5, 6 or 7 (0 = all)")
+		reps     = flag.Int("reps", 10, "randomized repetitions per x value (paper: 50)")
+		seed     = flag.Uint64("seed", 2022, "master seed")
+		ipBudget = flag.Duration("ip-budget", 500*time.Millisecond, "IDDE-IP solver budget per instance")
+		noIP     = flag.Bool("no-ip", false, "skip the IDDE-IP baseline")
+		outDir   = flag.String("out", "", "directory for CSV output (optional)")
+		list     = flag.Bool("list", false, "print Table 2 and exit")
+		plot     = flag.Bool("plot", false, "also render terminal plots of each figure")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(experiment.Table2Markdown())
+		return
+	}
+	if err := run(*fig, *reps, *seed, *ipBudget, *noIP, *outDir, *plot); err != nil {
+		fmt.Fprintln(os.Stderr, "iddebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig, reps int, seed uint64, ipBudget time.Duration, noIP bool, outDir string, plot bool) error {
+	cfg := experiment.Config{Reps: reps, Seed: seed}
+	if noIP {
+		cfg.Approaches = baseline.Heuristics()
+	} else {
+		ip := baseline.NewIDDEIP()
+		ip.Budget = ipBudget
+		cfg.Approaches = []baseline.Approach{
+			ip, baseline.NewIDDEG(), baseline.NewSAA(), baseline.NewCDP(), baseline.NewDUPG(),
+		}
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	wantSet := map[int]int{3: 1, 4: 2, 5: 3, 6: 4} // figure → set
+	var timing []*experiment.SetResult
+
+	if fig == 0 || fig == 1 {
+		series := cloudlat.Collect(cloudlat.DefaultTargets(), rng.New(seed))
+		fmt.Println(experiment.Fig1Markdown(series))
+		if plot {
+			labels := make([]string, len(series))
+			means := make([]float64, len(series))
+			for i, s := range series {
+				labels[i] = s.Target.Name
+				means[i] = s.Mean.Millis()
+			}
+			fmt.Println(viz.BarChart("Figure 1: mean end-to-end latency (ms)", labels, means, 40))
+		}
+		if outDir != "" {
+			if err := writeFile(filepath.Join(outDir, "fig1.csv"), fig1CSV(series)); err != nil {
+				return err
+			}
+		}
+	}
+	for f := 3; f <= 6; f++ {
+		if fig != 0 && fig != f && fig != 7 {
+			continue
+		}
+		set, err := experiment.SetByID(wantSet[f])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "running Set #%d (%d reps × %d x-values × %d approaches)...\n",
+			set.ID, cfg.Reps, len(set.Values), len(cfg.Approaches))
+		sr, err := experiment.RunSet(set, cfg)
+		if err != nil {
+			return err
+		}
+		timing = append(timing, sr)
+		if fig == 0 || fig == f {
+			fmt.Printf("Figure %d(a): %s\n", f, sr.MarkdownTable(experiment.RateMetric))
+			fmt.Printf("Figure %d(b): %s\n", f, sr.MarkdownTable(experiment.LatencyMetric))
+			if plot {
+				for _, m := range []experiment.Metric{experiment.RateMetric, experiment.LatencyMetric} {
+					xs, labels, ys := sr.SeriesFor(m)
+					series := make([]viz.Series, len(labels))
+					for li := range labels {
+						series[li] = viz.Series{Label: labels[li], Y: ys[li]}
+					}
+					fmt.Println(viz.LinePlot(
+						fmt.Sprintf("Figure %d: %s", f, m), sr.Set.Vary, xs, series, 60, 14))
+				}
+			}
+			if outDir != "" {
+				base := fmt.Sprintf("fig%d", f)
+				if err := writeFile(filepath.Join(outDir, base+"a_rate.csv"), sr.CSV(experiment.RateMetric)); err != nil {
+					return err
+				}
+				if err := writeFile(filepath.Join(outDir, base+"b_latency.csv"), sr.CSV(experiment.LatencyMetric)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if fig == 0 || fig == 7 {
+		fmt.Println(experiment.TimingMarkdown(timing))
+		if outDir != "" && len(timing) > 0 {
+			var csv string
+			for _, sr := range timing {
+				csv += fmt.Sprintf("# Set %d\n%s", sr.Set.ID, sr.CSV(experiment.TimeMetric))
+			}
+			if err := writeFile(filepath.Join(outDir, "fig7_time.csv"), csv); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func fig1CSV(series []cloudlat.Series) string {
+	out := "setting,kind,mean_ms,min_ms,max_ms\n"
+	for _, s := range series {
+		out += fmt.Sprintf("%s,%s,%.3f,%.3f,%.3f\n",
+			s.Target.Name, s.Target.Kind, s.Mean.Millis(), s.Min.Millis(), s.Max.Millis())
+	}
+	return out
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

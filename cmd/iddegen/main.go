@@ -1,0 +1,66 @@
+// Command iddegen generates a synthetic EUA-like scenario and writes
+// the topology and workload as JSON, so experiments can be pinned to a
+// fixed layout or hand-edited.
+//
+// Usage:
+//
+//	iddegen -n 30 -m 200 -k 5 -topology top.json -workload wl.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"idde/internal/rng"
+	"idde/internal/topology"
+	"idde/internal/workload"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 30, "edge servers (N)")
+		m       = flag.Int("m", 200, "users (M)")
+		k       = flag.Int("k", 5, "data items (K)")
+		density = flag.Float64("density", 1.0, "links per server")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		topOut  = flag.String("topology", "topology.json", "topology output path (- for stdout)")
+		wlOut   = flag.String("workload", "workload.json", "workload output path (- for stdout)")
+	)
+	flag.Parse()
+
+	s := rng.New(*seed)
+	top, err := topology.Generate(topology.DefaultGen(*n, *m, *density), s.Split("topology"))
+	if err != nil {
+		fatal(err)
+	}
+	wl, err := workload.Generate(workload.DefaultGen(*k), *n, *m, s.Split("workload"))
+	if err != nil {
+		fatal(err)
+	}
+	if err := writeTo(*topOut, func(f *os.File) error { return top.Save(f) }); err != nil {
+		fatal(err)
+	}
+	if err := writeTo(*wlOut, func(f *os.File) error { return wl.Save(f) }); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (N=%d, %d links) and %s (K=%d, %d requests)\n",
+		*topOut, top.N(), top.Net.M(), *wlOut, wl.K(), wl.TotalRequests())
+}
+
+func writeTo(path string, save func(*os.File) error) error {
+	if path == "-" {
+		return save(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return save(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iddegen:", err)
+	os.Exit(1)
+}

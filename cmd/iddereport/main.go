@@ -1,0 +1,116 @@
+// Command iddereport runs the complete evaluation and emits the
+// paper-vs-measured report behind EXPERIMENTS.md: every figure's data
+// plus, for each experiment set, IDDE-G's measured relative advantages
+// lined up against the values the paper quotes, with a shape verdict.
+//
+// Usage:
+//
+//	iddereport -reps 10 > EXPERIMENTS_data.md
+//	iddereport -reps 50 -ip-budget 2s      # closer to the paper's budget
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"idde/internal/baseline"
+	"idde/internal/cloudlat"
+	"idde/internal/experiment"
+	"idde/internal/paper"
+	"idde/internal/rng"
+)
+
+func main() {
+	var (
+		reps     = flag.Int("reps", 10, "repetitions per x value (paper: 50)")
+		seed     = flag.Uint64("seed", 2022, "master seed")
+		ipBudget = flag.Duration("ip-budget", 500*time.Millisecond, "IDDE-IP solver budget")
+	)
+	flag.Parse()
+	if err := run(*reps, *seed, *ipBudget); err != nil {
+		fmt.Fprintln(os.Stderr, "iddereport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(reps int, seed uint64, ipBudget time.Duration) error {
+	ip := baseline.NewIDDEIP()
+	ip.Budget = ipBudget
+	cfg := experiment.Config{
+		Reps: reps, Seed: seed,
+		Approaches: []baseline.Approach{
+			ip, baseline.NewIDDEG(), baseline.NewSAA(), baseline.NewCDP(), baseline.NewDUPG(),
+		},
+	}
+
+	fmt.Printf("# Measured evaluation (reps=%d, seed=%d, IDDE-IP budget %v)\n\n", reps, seed, ipBudget)
+
+	// Figure 1.
+	series := cloudlat.Collect(cloudlat.DefaultTargets(), rng.New(seed))
+	fmt.Println("## Figure 1")
+	fmt.Println()
+	fmt.Println(experiment.Fig1Markdown(series))
+	fmt.Println("Paper (approximate bar heights):", fmtMap(paper.Fig1ApproxMeansMs))
+	fmt.Println()
+
+	// Table 2.
+	fmt.Println("## Table 2")
+	fmt.Println()
+	fmt.Println(experiment.Table2Markdown())
+
+	// Figures 3–6 + 7.
+	var srs []*experiment.SetResult
+	overall := map[string][2]float64{} // name -> {rateAdvSum, latAdvSum}
+	for _, set := range experiment.Sets() {
+		fmt.Fprintf(os.Stderr, "running Set #%d...\n", set.ID)
+		sr, err := experiment.RunSet(set, cfg)
+		if err != nil {
+			return err
+		}
+		srs = append(srs, sr)
+		figNo := set.ID + 2
+		fmt.Printf("## Figure %d (Set #%d)\n\n", figNo, set.ID)
+		fmt.Printf("### (a) %s\n", sr.MarkdownTable(experiment.RateMetric))
+		fmt.Printf("### (b) %s\n", sr.MarkdownTable(experiment.LatencyMetric))
+		fmt.Println("### Paper-vs-measured shape checks")
+		fmt.Println()
+		fmt.Println(paper.Markdown(paper.CompareAdvantages(sr)))
+		for _, name := range paper.Baselines {
+			overall[name] = [2]float64{
+				overall[name][0] + sr.Advantage(name, experiment.RateMetric),
+				overall[name][1] + sr.Advantage(name, experiment.LatencyMetric),
+			}
+		}
+	}
+
+	fmt.Println("## Figure 7")
+	fmt.Println()
+	fmt.Println(experiment.TimingMarkdown(srs))
+	fmt.Println("Paper means (s):", fmtMap(paper.Fig7MeanSeconds))
+	fmt.Println()
+
+	fmt.Println("## Overall advantages (paper §4.5.1 headline)")
+	fmt.Println()
+	fmt.Println("| Baseline | Paper rate adv | Measured rate adv | Paper latency adv | Measured latency adv |")
+	fmt.Println("|---|---|---|---|---|")
+	n := float64(len(srs))
+	for _, name := range paper.Baselines {
+		fmt.Printf("| %s | %.2f%% | %.2f%% | %.2f%% | %.2f%% |\n",
+			name,
+			paper.Overall.Rate[name], overall[name][0]/n*100,
+			paper.Overall.Latency[name], overall[name][1]/n*100)
+	}
+	return nil
+}
+
+func fmtMap(m map[string]float64) string {
+	out := ""
+	for _, k := range []string{"IDDE-IP", "IDDE-G", "SAA", "CDP", "DUP-G", "Edge", "Singapore", "London", "Frankfurt"} {
+		if v, ok := m[k]; ok {
+			out += fmt.Sprintf("%s=%.2f ", k, v)
+		}
+	}
+	return out
+}

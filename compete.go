@@ -1,0 +1,85 @@
+package idde
+
+import (
+	"fmt"
+
+	"idde/internal/rng"
+	"idde/internal/vendor"
+)
+
+// CompetitionPolicy selects how contested per-server storage is divided
+// among competing app vendors (see internal/vendor).
+type CompetitionPolicy string
+
+const (
+	// EvenSplit divides every server's reservation equally.
+	EvenSplit CompetitionPolicy = "even-split"
+	// Proportional divides by each vendor's local demand.
+	Proportional CompetitionPolicy = "proportional"
+	// Draft lets vendors alternate greedy claims from the shared pool.
+	Draft CompetitionPolicy = "draft"
+)
+
+// VendorOutcome is one vendor's result in a competition round.
+type VendorOutcome struct {
+	Vendor     int
+	Users      int
+	RateMBps   float64
+	LatencyMs  float64
+	ReservedMB float64
+	Replicas   int
+}
+
+// CompetitionResult summarizes a multi-vendor round.
+type CompetitionResult struct {
+	Policy CompetitionPolicy
+	// Vendors holds per-vendor outcomes, by vendor id.
+	Vendors []VendorOutcome
+	// JainFairness is Jain's index over vendor rates (1 = perfectly fair).
+	JainFairness float64
+	// SystemLatencyMs is the demand-weighted mean latency across all
+	// vendors.
+	SystemLatencyMs float64
+}
+
+// Compete partitions the scenario's users and catalog among `vendors`
+// competing app vendors and runs the storage competition under the
+// given policy. The wireless allocation game is shared (interference
+// does not care about subscriptions); storage is contested.
+func (sc *Scenario) Compete(vendors int, policy CompetitionPolicy, seed uint64) (*CompetitionResult, error) {
+	var p vendor.SplitPolicy
+	switch policy {
+	case EvenSplit:
+		p = vendor.EvenSplit
+	case Proportional:
+		p = vendor.Proportional
+	case Draft:
+		p = vendor.Draft
+	default:
+		return nil, fmt.Errorf("idde: unknown competition policy %q", policy)
+	}
+	assign, err := vendor.RandomAssignment(sc.in, vendors, rng.New(seed).Split("assignment"))
+	if err != nil {
+		return nil, err
+	}
+	res, err := vendor.Compete(sc.in, assign, p)
+	if err != nil {
+		return nil, err
+	}
+	out := &CompetitionResult{
+		Policy:          policy,
+		JainFairness:    res.JainRate,
+		SystemLatencyMs: res.SystemLatencyMs,
+	}
+	for _, m := range res.PerVendor {
+		out.Vendors = append(out.Vendors, VendorOutcome{
+			Vendor:     m.Vendor,
+			Users:      m.Users,
+			RateMBps:   m.RateMBps,
+			LatencyMs:  m.LatencyMs,
+			ReservedMB: m.ReservedMB,
+			Replicas:   m.Replicas,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,57 @@
+// Autonomous driving: vehicles stream fresh HD-map tiles and model
+// updates from the edge. Items are small (5–20 MB), demand is bursty
+// (every vehicle entering a district wants the same tiles at once), and
+// the latency budget is tight.
+//
+// The example formulates an IDDE-G strategy for the fleet and then
+// *executes* it on the discrete-event simulator twice — once with
+// arrivals spread over a minute, once as a synchronized burst — to show
+// how much headroom the analytic Eq. 9 latency leaves under contention.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"idde"
+)
+
+func main() {
+	sc, err := idde.NewScenario(idde.ScenarioConfig{
+		Servers:        20,
+		Users:          250, // vehicles in the district
+		DataItems:      8,   // map tiles + model shards
+		Seed:           11,
+		ItemSizesMB:    []float64{5, 10, 20},
+		StorageRangeMB: [2]float64{20, 120},
+		ZipfSkew:       0.6, // tiles are requested fairly evenly
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st, diag, err := sc.SolveIDDEG()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fleet scenario: %d road-side servers, %d vehicles, %d tiles\n",
+		sc.Servers(), sc.Users(), sc.DataItems())
+	fmt.Printf("IDDE-G strategy: %.1f MBps per vehicle, %.3f ms analytic tile latency, %d replicas\n\n",
+		st.AvgRateMBps, st.AvgLatencyMs, diag.Replicas)
+
+	// Execute the strategy under two arrival patterns.
+	calm := sc.Simulate(st, 60, 1) // arrivals spread over a minute
+	burst := sc.Simulate(st, 0, 1) // everyone at the district border at once
+
+	fmt.Printf("%-22s  %14s  %14s  %12s\n", "arrival pattern", "measured (ms)", "analytic (ms)", "inflation")
+	fmt.Printf("%-22s  %14.3f  %14.3f  %11.2fx\n", "spread over 60 s", calm.AvgLatencyMs, calm.AnalyticAvgMs, calm.MaxInflation)
+	fmt.Printf("%-22s  %14.3f  %14.3f  %11.2fx\n", "synchronized burst", burst.AvgLatencyMs, burst.AnalyticAvgMs, burst.MaxInflation)
+
+	fmt.Printf("\n%d of %d tile fetches still hit the cloud; the rest are served inside the edge system.\n",
+		burst.CloudRequests, sc.Users())
+	if burst.AvgLatencyMs < 20 {
+		fmt.Println("Even the synchronized burst stays inside a 20 ms tile budget.")
+	} else {
+		fmt.Println("The synchronized burst blows the 20 ms tile budget — add reservations or servers.")
+	}
+}

@@ -1,0 +1,47 @@
+// Vendor competition: the paper's introduction motivates reservations
+// with competition — "app vendors have to compete for storage
+// resources for storing their own data". This example puts three
+// vendors (think a social network, a game publisher and a video
+// service) on the same 25-server edge system and compares three ways of
+// splitting the contested reservations:
+//
+//	even-split    — naive equal shares per server
+//	proportional  — shares follow local demand
+//	draft         — vendors alternate greedy claims (an auction)
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"idde"
+)
+
+func main() {
+	sc, err := idde.NewScenario(idde.ScenarioConfig{
+		Servers: 25, Users: 240, DataItems: 9, Seed: 33,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3 vendors compete for %.0f MB of reserved edge storage\n\n", sc.TotalStorageMB())
+
+	for _, policy := range []idde.CompetitionPolicy{idde.EvenSplit, idde.Proportional, idde.Draft} {
+		res, err := sc.Compete(3, policy, 33)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("policy %-13s  system latency %7.2f ms   rate fairness (Jain) %.3f\n",
+			res.Policy, res.SystemLatencyMs, res.JainFairness)
+		for _, v := range res.Vendors {
+			fmt.Printf("  vendor %d: %3d users  %7.1f MBps  %7.2f ms  %6.0f MB reserved  %d replicas\n",
+				v.Vendor, v.Users, v.RateMBps, v.LatencyMs, v.ReservedMB, v.Replicas)
+		}
+		fmt.Println()
+	}
+	fmt.Println("The draft (greedy auction) dominates: contested megabytes go to")
+	fmt.Println("whoever saves the most latency per MB, so every vendor beats its")
+	fmt.Println("even-split outcome. Proportional shares look fair on paper but starve")
+	fmt.Println("small vendors' tails — exactly why the paper's vendors reserve storage")
+	fmt.Println("deliberately instead of trusting a blanket split.")
+}

@@ -1,0 +1,60 @@
+package idde
+
+import (
+	"fmt"
+
+	"idde/internal/repair"
+)
+
+// FailureReport accounts for an injected server failure and its repair.
+type FailureReport struct {
+	FailedServer     int
+	DisplacedUsers   int
+	StrandedUsers    int
+	LostReplicas     int
+	ReplacedReplicas int
+	Moves            int
+	// Rate/latency under the healthy strategy and after the repair on
+	// the degraded system.
+	RateBeforeMBps, RateAfterMBps   float64
+	LatencyBeforeMs, LatencyAfterMs float64
+}
+
+// InjectFailure kills one edge server (its users, replicas and wired
+// links all go with it), repairs the given strategy incrementally, and
+// returns the repaired strategy — bound to the degraded scenario, which
+// is also returned for further solving or simulation.
+func (sc *Scenario) InjectFailure(st *Strategy, server int) (*Scenario, *Strategy, *FailureReport, error) {
+	if st == nil || st.sc != sc {
+		return nil, nil, nil, fmt.Errorf("idde: strategy does not belong to this scenario")
+	}
+	degIn, err := repair.FailServer(sc.in, server)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	degraded := &Scenario{in: degIn, ipBudget: sc.ipBudget}
+	repaired, rep, err := repair.Repair(sc.in, degIn, st.raw, server, repair.Options{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	out := &Strategy{
+		Approach:     st.Approach,
+		AvgRateMBps:  float64(rep.RateAfter),
+		AvgLatencyMs: rep.LatencyAfter.Millis(),
+		raw:          repaired,
+		sc:           degraded,
+	}
+	report := &FailureReport{
+		FailedServer:     rep.FailedServer,
+		DisplacedUsers:   rep.DisplacedUsers,
+		StrandedUsers:    rep.StrandedUsers,
+		LostReplicas:     rep.LostReplicas,
+		ReplacedReplicas: rep.ReplacedReplicas,
+		Moves:            rep.Moves,
+		RateBeforeMBps:   float64(rep.RateBefore),
+		RateAfterMBps:    float64(rep.RateAfter),
+		LatencyBeforeMs:  rep.LatencyBefore.Millis(),
+		LatencyAfterMs:   rep.LatencyAfter.Millis(),
+	}
+	return degraded, out, report, nil
+}

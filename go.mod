@@ -1,0 +1,3 @@
+module idde
+
+go 1.22

@@ -1,0 +1,112 @@
+package baseline
+
+import (
+	"container/heap"
+
+	"idde/internal/model"
+	"idde/internal/rng"
+)
+
+// CDP is the centralized data placement baseline of §4.1 (after Liu et
+// al., Fog-RAN cache placement): users go to their strongest-gain server
+// (interference-blind), and a central controller greedily places the
+// replica with the largest absolute latency reduction until reservations
+// fill. Like the Fog-RAN model it comes from — and unlike IDDE-G's
+// Phase 2 — CDP assumes a request is served either by the user's own
+// serving access point or by the cloud, so its placement reasoning
+// ignores the edge servers' ability to collaborate (that ability is the
+// very thing the paper's evaluation isolates). It also ranks by raw
+// gain, not gain-per-MB, so large popular items crowd out the tail.
+type CDP struct{}
+
+// NewCDP returns the approach.
+func NewCDP() *CDP { return &CDP{} }
+
+// Name implements Approach.
+func (a *CDP) Name() string { return "CDP" }
+
+// Solve implements Approach.
+func (a *CDP) Solve(in *model.Instance, seed uint64) model.Strategy {
+	// Nearest-server attachment with an arbitrary (uniform random)
+	// channel: CDP optimizes latency, so the wireless side gets no
+	// attention beyond picking the strongest signal.
+	s := rng.New(seed).Split("cdp-channels")
+	alloc := model.NewAllocation(in.M())
+	for j := 0; j < in.M(); j++ {
+		best, bestG := -1, -1.0
+		for _, i := range in.Top.Coverage[j] {
+			if g := in.Gain[i][j]; g > bestG {
+				best, bestG = i, g
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		alloc[j] = model.Alloc{Server: best, Channel: s.IntN(in.Top.Servers[best].Channels)}
+	}
+
+	// localReqs[i][k]: demand for item k among users served by i.
+	localReqs := make([][]int, in.N())
+	for i := range localReqs {
+		localReqs[i] = make([]int, in.K())
+	}
+	for j, al := range alloc {
+		if !al.Allocated() {
+			continue
+		}
+		for _, k := range in.Wl.Requests[j] {
+			localReqs[al.Server][k]++
+		}
+	}
+
+	// Central greedy: absolute local gain = demand × cloud latency.
+	// Local-only gains are independent across decisions, so a single
+	// max-heap pass is exact.
+	d := model.NewDelivery(in.N(), in.K())
+	pq := make(cdpHeap, 0, in.N()*in.K())
+	for i := 0; i < in.N(); i++ {
+		for k := 0; k < in.K(); k++ {
+			if localReqs[i][k] == 0 {
+				continue
+			}
+			gain := float64(localReqs[i][k]) * float64(in.CloudLatency(k))
+			pq = append(pq, cdpEntry{server: i, item: k, gain: gain})
+		}
+	}
+	heap.Init(&pq)
+	for pq.Len() > 0 {
+		e := heap.Pop(&pq).(cdpEntry)
+		size := in.Wl.Items[e.item].Size
+		if d.Used(e.server)+size <= in.Wl.Capacity[e.server] {
+			d.Place(e.server, e.item, size)
+		}
+	}
+	return model.Strategy{Alloc: alloc, Delivery: d, Mode: model.ServerLocal}
+}
+
+type cdpEntry struct {
+	server, item int
+	gain         float64
+}
+
+type cdpHeap []cdpEntry
+
+func (h cdpHeap) Len() int { return len(h) }
+func (h cdpHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	if h[i].server != h[j].server {
+		return h[i].server < h[j].server
+	}
+	return h[i].item < h[j].item
+}
+func (h cdpHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cdpHeap) Push(x interface{}) { *h = append(*h, x.(cdpEntry)) }
+func (h *cdpHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,23 @@
+package baseline
+
+import (
+	"idde/internal/core"
+	"idde/internal/model"
+)
+
+// IDDEG wraps the paper's proposed approach (internal/core) behind the
+// Approach interface. It is deterministic, so the seed is ignored.
+type IDDEG struct {
+	Options core.Options
+}
+
+// NewIDDEG returns the approach with default options.
+func NewIDDEG() *IDDEG { return &IDDEG{Options: core.DefaultOptions()} }
+
+// Name implements Approach.
+func (a *IDDEG) Name() string { return "IDDE-G" }
+
+// Solve implements Approach.
+func (a *IDDEG) Solve(in *model.Instance, _ uint64) model.Strategy {
+	return core.Solve(in, a.Options).Strategy
+}

@@ -1,0 +1,13 @@
+package baseline
+
+// All returns the five approaches in the paper's figure order:
+// IDDE-IP, IDDE-G, SAA, CDP, DUP-G.
+func All() []Approach {
+	return []Approach{NewIDDEIP(), NewIDDEG(), NewSAA(), NewCDP(), NewDUPG()}
+}
+
+// Heuristics returns the approaches without the expensive IDDE-IP
+// solver, for quick runs.
+func Heuristics() []Approach {
+	return []Approach{NewIDDEG(), NewSAA(), NewCDP(), NewDUPG()}
+}

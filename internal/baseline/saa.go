@@ -1,0 +1,140 @@
+package baseline
+
+import (
+	"idde/internal/model"
+	"idde/internal/rng"
+)
+
+// SAA is the sample average approximation baseline of §4.1 (after Ning
+// et al.): each edge server independently chooses which data to hold by
+// maximizing a *local storage utility* — the average, over sampled
+// demand subsets from its own coverage area, of the latency saved for
+// covered requests plus a coverage bonus for each distinct user served.
+// User allocation is interference-blind: each user picks a uniformly
+// random covering server and channel, which is why SAA trails every
+// other approach on average data rate in the paper's figures.
+type SAA struct {
+	// Samples is the number of demand subsamples per candidate subset.
+	Samples int
+	// Candidates is the number of random feasible item subsets scored
+	// per server.
+	Candidates int
+	// SubsampleFraction of local requests kept per demand sample.
+	SubsampleFraction float64
+	// CoverageBonus rewards each distinct user served locally
+	// (seconds-equivalent per user).
+	CoverageBonus float64
+}
+
+// NewSAA returns the configuration used in the experiments. The
+// sampling effort mirrors the original scheme's cost profile: SAA is
+// the slowest of the heuristics (the paper's Fig. 7 puts it at roughly
+// 2× IDDE-G and DUP-G).
+func NewSAA() *SAA {
+	return &SAA{Samples: 24, Candidates: 36, SubsampleFraction: 0.6, CoverageBonus: 0.005}
+}
+
+// Name implements Approach.
+func (a *SAA) Name() string { return "SAA" }
+
+// Solve implements Approach.
+func (a *SAA) Solve(in *model.Instance, seed uint64) model.Strategy {
+	s := rng.New(seed).Split("saa")
+
+	// Interference-blind random allocation.
+	allocStream := s.Split("alloc")
+	alloc := model.NewAllocation(in.M())
+	for j := 0; j < in.M(); j++ {
+		vs := in.Top.Coverage[j]
+		if len(vs) == 0 {
+			continue
+		}
+		i := vs[allocStream.IntN(len(vs))]
+		alloc[j] = model.Alloc{Server: i, Channel: allocStream.IntN(in.Top.Servers[i].Channels)}
+	}
+
+	// Per-server SAA placement over local demand.
+	d := model.NewDelivery(in.N(), in.K())
+	for i := 0; i < in.N(); i++ {
+		subset := a.chooseSubset(in, i, s.SplitN("server", i))
+		for _, k := range subset {
+			d.Place(i, k, in.Wl.Items[k].Size)
+		}
+	}
+	return model.Strategy{Alloc: alloc, Delivery: d, Mode: model.CoverageLocal}
+}
+
+// localRequest is one demand unit visible to a server: a covered user
+// requesting an item.
+type localRequest struct {
+	user, item int
+}
+
+func (a *SAA) chooseSubset(in *model.Instance, i int, s *rng.Stream) []int {
+	var reqs []localRequest
+	for _, j := range in.Top.Covered[i] {
+		for _, k := range in.Wl.Requests[j] {
+			reqs = append(reqs, localRequest{user: j, item: k})
+		}
+	}
+	if len(reqs) == 0 {
+		return nil
+	}
+
+	var best []int
+	bestUtil := 0.0
+	for c := 0; c < a.Candidates; c++ {
+		cand := a.randomFeasibleSubset(in, i, s.SplitN("cand", c))
+		if len(cand) == 0 {
+			continue
+		}
+		util := a.sampledUtility(in, reqs, cand, s.SplitN("score", c))
+		if util > bestUtil {
+			bestUtil = util
+			best = cand
+		}
+	}
+	return best
+}
+
+// randomFeasibleSubset shuffles the catalog and greedily packs items
+// into server i's reservation.
+func (a *SAA) randomFeasibleSubset(in *model.Instance, i int, s *rng.Stream) []int {
+	order := s.Perm(in.K())
+	remaining := in.Wl.Capacity[i]
+	var subset []int
+	for _, k := range order {
+		if size := in.Wl.Items[k].Size; size <= remaining {
+			subset = append(subset, k)
+			remaining -= size
+		}
+	}
+	return subset
+}
+
+// sampledUtility averages, over demand subsamples, the cloud-latency
+// saved for requests whose item is in the subset, plus the coverage
+// bonus for distinct users served.
+func (a *SAA) sampledUtility(in *model.Instance, reqs []localRequest, subset []int, s *rng.Stream) float64 {
+	inSubset := make(map[int]bool, len(subset))
+	for _, k := range subset {
+		inSubset[k] = true
+	}
+	total := 0.0
+	for sample := 0; sample < a.Samples; sample++ {
+		var util float64
+		served := map[int]bool{}
+		for _, r := range reqs {
+			if !s.Bool(a.SubsampleFraction) {
+				continue
+			}
+			if inSubset[r.item] {
+				util += float64(in.CloudLatency(r.item))
+				served[r.user] = true
+			}
+		}
+		util += a.CoverageBonus * float64(len(served))
+		total += util
+	}
+	return total / float64(a.Samples)
+}

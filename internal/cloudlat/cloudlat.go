@@ -1,0 +1,109 @@
+// Package cloudlat reproduces the measurement behind the paper's
+// Figure 1: end-to-end network latency from a mobile device to (a) a
+// nearby edge server and (b) remote cloud data centers (Amazon
+// Singapore, London and Frankfurt), "collected hourly and averaged over
+// a week in March 2022".
+//
+// The original numbers come from live probes out of Australia; since
+// this module is offline, the package implements a stochastic RTT model
+// with region-dependent propagation bases and diurnal congestion jitter,
+// sampled on the same hourly-for-a-week schedule (see DESIGN.md §4).
+// The magnitudes follow the figure: edge-to-edge a few ms, Singapore
+// ≈90–120 ms, Europe ≈230–280 ms.
+package cloudlat
+
+import (
+	"math"
+
+	"idde/internal/rng"
+	"idde/internal/units"
+)
+
+// Kind distinguishes the two bar groups of Figure 1.
+type Kind int
+
+const (
+	EdgeToEdge Kind = iota
+	EdgeToCloud
+)
+
+func (k Kind) String() string {
+	if k == EdgeToEdge {
+		return "Edge-to-Edge"
+	}
+	return "Edge-to-Cloud"
+}
+
+// Target is one latency test setting (x-axis entry of Figure 1).
+type Target struct {
+	Name string
+	Kind Kind
+	// Base is the propagation floor of the route.
+	Base units.Seconds
+	// Congestion is the mean amplitude of load-dependent delay.
+	Congestion units.Seconds
+}
+
+// DefaultTargets returns the four settings of Figure 1, with bases
+// chosen for probes originating in southeastern Australia.
+func DefaultTargets() []Target {
+	return []Target{
+		{Name: "Edge", Kind: EdgeToEdge, Base: 0.004, Congestion: 0.004},
+		{Name: "Singapore", Kind: EdgeToCloud, Base: 0.092, Congestion: 0.018},
+		{Name: "London", Kind: EdgeToCloud, Base: 0.238, Congestion: 0.030},
+		{Name: "Frankfurt", Kind: EdgeToCloud, Base: 0.251, Congestion: 0.032},
+	}
+}
+
+// Series is the aggregated measurement for one target.
+type Series struct {
+	Target Target
+	// Samples holds the 24×7 hourly RTTs.
+	Samples []units.Seconds
+	Mean    units.Seconds
+	Min     units.Seconds
+	Max     units.Seconds
+}
+
+// HoursPerWeek is the Fig. 1 sampling schedule: hourly over one week.
+const HoursPerWeek = 24 * 7
+
+// Collect simulates the week of hourly probes for every target.
+func Collect(targets []Target, s *rng.Stream) []Series {
+	out := make([]Series, len(targets))
+	for i, tg := range targets {
+		st := s.SplitN("target", i)
+		ser := Series{Target: tg, Samples: make([]units.Seconds, HoursPerWeek)}
+		ser.Min = units.Seconds(math.Inf(1))
+		var sum float64
+		for h := 0; h < HoursPerWeek; h++ {
+			rtt := sampleRTT(tg, h, st)
+			ser.Samples[h] = rtt
+			sum += float64(rtt)
+			if rtt < ser.Min {
+				ser.Min = rtt
+			}
+			if rtt > ser.Max {
+				ser.Max = rtt
+			}
+		}
+		ser.Mean = units.Seconds(sum / HoursPerWeek)
+		out[i] = ser
+	}
+	return out
+}
+
+// sampleRTT draws one hourly probe: base propagation plus a diurnal
+// congestion term (peaking in the evening) plus log-normal-ish jitter.
+func sampleRTT(tg Target, hour int, s *rng.Stream) units.Seconds {
+	hod := hour % 24
+	// Diurnal load: sinusoid peaking at 20:00 local, scaled to [0,1].
+	load := 0.5 + 0.5*math.Sin(2*math.Pi*float64(hod-14)/24)
+	congestion := float64(tg.Congestion) * load * (0.5 + s.Exp(0.5))
+	jitter := float64(tg.Base) * 0.02 * s.Normal(0, 1)
+	rtt := float64(tg.Base) + congestion + jitter
+	if rtt < float64(tg.Base)*0.9 {
+		rtt = float64(tg.Base) * 0.9
+	}
+	return units.Seconds(rtt)
+}

@@ -1,0 +1,92 @@
+package cloudlat
+
+import (
+	"testing"
+
+	"idde/internal/rng"
+)
+
+func TestCollectShape(t *testing.T) {
+	series := Collect(DefaultTargets(), rng.New(1))
+	if len(series) != 4 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Samples) != HoursPerWeek {
+			t.Errorf("%s: %d samples", s.Target.Name, len(s.Samples))
+		}
+		if s.Min > s.Mean || s.Mean > s.Max {
+			t.Errorf("%s: min/mean/max out of order: %v %v %v", s.Target.Name, s.Min, s.Mean, s.Max)
+		}
+		if s.Min <= 0 {
+			t.Errorf("%s: non-positive RTT", s.Target.Name)
+		}
+	}
+}
+
+func TestFig1Magnitudes(t *testing.T) {
+	series := Collect(DefaultTargets(), rng.New(2))
+	byName := map[string]Series{}
+	for _, s := range series {
+		byName[s.Target.Name] = s
+	}
+	edge := byName["Edge"].Mean.Millis()
+	sing := byName["Singapore"].Mean.Millis()
+	lond := byName["London"].Mean.Millis()
+	fran := byName["Frankfurt"].Mean.Millis()
+	// Figure 1 shape: edge single-digit ms; Singapore ≈100ms; Europe
+	// ≈250ms; strict ordering edge < Singapore < London ≤ Frankfurt.
+	if edge >= 20 {
+		t.Errorf("edge mean %vms too high", edge)
+	}
+	if !(edge < sing && sing < lond && lond <= fran+5) {
+		t.Errorf("ordering violated: %v < %v < %v <= %v", edge, sing, lond, fran)
+	}
+	if sing < 60 || sing > 150 {
+		t.Errorf("Singapore mean %vms outside Fig.1 band", sing)
+	}
+	if lond < 180 || lond > 300 || fran < 180 || fran > 320 {
+		t.Errorf("Europe means %v/%vms outside Fig.1 band", lond, fran)
+	}
+	// The headline: edge is an order of magnitude below any cloud.
+	if sing/edge < 5 {
+		t.Errorf("edge advantage only %.1f× over Singapore", sing/edge)
+	}
+}
+
+func TestKindsAndStrings(t *testing.T) {
+	ts := DefaultTargets()
+	if ts[0].Kind != EdgeToEdge {
+		t.Error("first target should be edge-to-edge")
+	}
+	for _, tg := range ts[1:] {
+		if tg.Kind != EdgeToCloud {
+			t.Errorf("%s should be edge-to-cloud", tg.Name)
+		}
+	}
+	if EdgeToEdge.String() != "Edge-to-Edge" || EdgeToCloud.String() != "Edge-to-Cloud" {
+		t.Error("Kind String wrong")
+	}
+}
+
+func TestCollectDeterministic(t *testing.T) {
+	a := Collect(DefaultTargets(), rng.New(9))
+	b := Collect(DefaultTargets(), rng.New(9))
+	for i := range a {
+		if a[i].Mean != b[i].Mean {
+			t.Fatalf("series %d differs across identical seeds", i)
+		}
+	}
+	c := Collect(DefaultTargets(), rng.New(10))
+	if a[0].Mean == c[0].Mean {
+		t.Error("different seeds produced identical samples")
+	}
+}
+
+func TestDiurnalVariation(t *testing.T) {
+	series := Collect(DefaultTargets(), rng.New(3))
+	s := series[1] // Singapore
+	if s.Max-s.Min <= 0 {
+		t.Error("no variation over the week")
+	}
+}

@@ -1,0 +1,152 @@
+// Package core implements IDDE-G, the paper's proposed approach
+// (Algorithm 1): a two-phase heuristic for the Interference-aware Data
+// Delivery at the network Edge problem.
+//
+// Phase 1 plays the IDDE-U game — every user repeatedly best-responds to
+// the benefit function of Eq. (12) over its decision set δ_j (every
+// channel of every covering server), with one winning update committed
+// per round — until a Nash equilibrium is reached. Theorem 3 shows the
+// game is an (ordinal) potential game, so the dynamics terminate;
+// Theorem 4 bounds the number of committed updates.
+//
+// Phase 2 greedily builds the data delivery profile: it repeatedly
+// commits the decision σ_{i,k} with the highest ratio of total latency
+// reduction over consumed storage (Eq. 17), subject to the Eq. (6)
+// reservations, until no feasible decision reduces latency. Theorems 6–7
+// bound the gap to the optimal delivery profile.
+package core
+
+import (
+	"time"
+
+	"idde/internal/game"
+	"idde/internal/model"
+	"idde/internal/placement"
+	"idde/internal/units"
+)
+
+// Options tunes IDDE-G.
+type Options struct {
+	// Game configures the Phase 1 best-response dynamics. The zero
+	// value is replaced by game.DefaultOptions().
+	Game game.Options
+	// NaiveGreedy switches Phase 2 from the lazy (CELF) evaluator to
+	// the literal re-scan-everything loop of Algorithm 1; the output is
+	// identical, only the oracle-call count differs. Used for
+	// differential tests and the ablation bench.
+	NaiveGreedy bool
+}
+
+// DefaultOptions returns the configuration used in the experiments.
+func DefaultOptions() Options {
+	return Options{Game: game.DefaultOptions()}
+}
+
+// Result carries the strategy and the instrumentation the theorems talk
+// about.
+type Result struct {
+	Strategy model.Strategy
+
+	// AvgRate is objective #1 (Eq. 5) under the strategy.
+	AvgRate units.Rate
+	// AvgLatency is objective #2 (Eq. 9) under the strategy.
+	AvgLatency units.Seconds
+
+	// Phase1 reports the game dynamics: Updates is the iteration count
+	// bounded by Theorem 4.
+	Phase1 game.Stats
+	// Replicas is the number of committed delivery decisions.
+	Replicas int
+	// GainEvaluations counts Phase 2 oracle calls (CELF efficiency).
+	GainEvaluations int
+	// LatencyReduction is ΔL(σ) of Eq. 25: total latency saved versus
+	// all-cloud delivery.
+	LatencyReduction units.Seconds
+
+	Phase1Time, Phase2Time time.Duration
+}
+
+// Solve runs IDDE-G on the instance.
+func Solve(in *model.Instance, opt Options) *Result {
+	if opt.Game == (game.Options{}) {
+		opt.Game = game.DefaultOptions()
+	}
+	res := &Result{}
+
+	// Phase 1 — IDDE-U game for the user allocation profile.
+	t0 := time.Now()
+	ledger := model.NewLedger(in, model.NewAllocation(in.M()))
+	adapter := &allocGame{in: in, l: ledger}
+	res.Phase1 = game.Run[model.Alloc](adapter, opt.Game)
+	alloc := ledger.Alloc()
+	res.Phase1Time = time.Since(t0)
+
+	// Phase 2 — greedy data delivery profile.
+	t1 := time.Now()
+	delivery, pres := solveDelivery(in, alloc, opt.NaiveGreedy)
+	res.Phase2Time = time.Since(t1)
+
+	res.Strategy = model.Strategy{Alloc: alloc, Delivery: delivery}
+	res.Replicas = len(pres.Chosen)
+	res.GainEvaluations = pres.Evaluations
+	res.LatencyReduction = units.Seconds(pres.TotalGain)
+	res.AvgRate = ledger.AvgRate()
+	res.AvgLatency = in.AvgLatency(alloc, delivery)
+	return res
+}
+
+// SolveDelivery exposes Phase 2 alone for a caller-supplied allocation
+// (the CDP baseline reuses it with its own allocation rule).
+func SolveDelivery(in *model.Instance, alloc model.Allocation, naive bool) (*model.Delivery, placement.Result) {
+	return solveDelivery(in, alloc, naive)
+}
+
+func solveDelivery(in *model.Instance, alloc model.Allocation, naive bool) (*model.Delivery, placement.Result) {
+	oracle := &deliveryOracle{
+		in: in,
+		ls: model.NewLatencyState(in, alloc),
+		d:  model.NewDelivery(in.N(), in.K()),
+	}
+	cands := make([]placement.Candidate, 0, in.N()*in.K())
+	for i := 0; i < in.N(); i++ {
+		for k := 0; k < in.K(); k++ {
+			cands = append(cands, placement.Candidate{Server: i, Item: k})
+		}
+	}
+	var pres placement.Result
+	if naive {
+		pres = placement.Greedy(cands, oracle)
+	} else {
+		pres = placement.LazyGreedy(cands, oracle)
+	}
+	return oracle.d, pres
+}
+
+// deliveryOracle adapts the incremental latency state and the delivery
+// profile to the placement engine.
+type deliveryOracle struct {
+	in *model.Instance
+	ls *model.LatencyState
+	d  *model.Delivery
+}
+
+func (o *deliveryOracle) Gain(c placement.Candidate) float64 {
+	return float64(o.ls.GainOf(c.Server, c.Item))
+}
+
+func (o *deliveryOracle) Cost(c placement.Candidate) float64 {
+	return float64(o.in.Wl.Items[c.Item].Size)
+}
+
+func (o *deliveryOracle) Feasible(c placement.Candidate) bool {
+	if o.d.Placed(c.Server, c.Item) {
+		return false
+	}
+	size := o.in.Wl.Items[c.Item].Size
+	return o.d.Used(c.Server)+size <= o.in.Wl.Capacity[c.Server]
+}
+
+func (o *deliveryOracle) Commit(c placement.Candidate) float64 {
+	o.d.Place(c.Server, c.Item, o.in.Wl.Items[c.Item].Size)
+	return float64(o.ls.Commit(c.Server, c.Item))
+}

@@ -1,0 +1,278 @@
+package des
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"idde/internal/model"
+	"idde/internal/rng"
+	"idde/internal/units"
+)
+
+// Network executes an IDDE strategy's transfers over the topology's
+// wired links with FIFO contention. Each undirected link is one shared
+// resource (half-duplex, as microwave backhaul typically is); each
+// server additionally owns a cloud-ingress resource at the topology's
+// cloud rate.
+type Network struct {
+	in    *model.Instance
+	links map[[2]int]*Resource
+	cloud []*Resource
+}
+
+// NewNetwork builds the contention model for an instance.
+func NewNetwork(in *model.Instance) *Network {
+	n := &Network{in: in, links: map[[2]int]*Resource{}, cloud: make([]*Resource, in.N())}
+	for _, e := range in.Top.Net.Edges() {
+		n.links[[2]int{e.U, e.V}] = &Resource{Rate: units.Rate(1 / float64(e.Cost))}
+	}
+	for i := range n.cloud {
+		n.cloud[i] = &Resource{Rate: in.Top.CloudRate}
+	}
+	return n
+}
+
+func (n *Network) link(u, v int) *Resource {
+	if u > v {
+		u, v = v, u
+	}
+	return n.links[[2]int{u, v}]
+}
+
+// Report aggregates a simulated execution.
+type Report struct {
+	// PerRequest holds the measured completion latency of every
+	// (user, item) request, in workload order.
+	PerRequest []units.Seconds
+	// Avg is the measured analogue of Eq. 9.
+	Avg units.Seconds
+	// AnalyticAvg is Eq. 9 itself, for comparison.
+	AnalyticAvg units.Seconds
+	// CloudRequests counts requests served from the cloud.
+	CloudRequests int
+	// Events is the number of simulation events executed.
+	Events int
+	// net retains the contention state for utilization queries.
+	net *Network
+	// makespan is the completion time of the last transfer.
+	makespan units.Seconds
+}
+
+// LinkUtilization summarizes one wired link's contention.
+type LinkUtilization struct {
+	U, V     int
+	Served   int
+	BusyTime units.Seconds
+	// Utilization is BusyTime over the run's makespan (0 for an idle
+	// run).
+	Utilization float64
+}
+
+// Makespan reports when the last transfer completed.
+func (rep *Report) Makespan() units.Seconds { return rep.makespan }
+
+// LinkUtilizations reports per-link contention, busiest first. Links
+// that served nothing are included with zero counts so capacity
+// planning can spot dead links.
+func (rep *Report) LinkUtilizations() []LinkUtilization {
+	if rep.net == nil {
+		return nil
+	}
+	var out []LinkUtilization
+	for key, res := range rep.net.links {
+		lu := LinkUtilization{U: key[0], V: key[1], Served: res.Served(), BusyTime: res.BusyTime()}
+		if rep.makespan > 0 {
+			lu.Utilization = float64(res.BusyTime()) / float64(rep.makespan)
+		}
+		out = append(out, lu)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].BusyTime != out[b].BusyTime {
+			return out[a].BusyTime > out[b].BusyTime
+		}
+		if out[a].U != out[b].U {
+			return out[a].U < out[b].U
+		}
+		return out[a].V < out[b].V
+	})
+	return out
+}
+
+// CloudUtilizations reports per-server cloud-ingress contention, in
+// server order.
+func (rep *Report) CloudUtilizations() []LinkUtilization {
+	if rep.net == nil {
+		return nil
+	}
+	out := make([]LinkUtilization, len(rep.net.cloud))
+	for i, res := range rep.net.cloud {
+		out[i] = LinkUtilization{U: -1, V: i, Served: res.Served(), BusyTime: res.BusyTime()}
+		if rep.makespan > 0 {
+			out[i].Utilization = float64(res.BusyTime()) / float64(rep.makespan)
+		}
+	}
+	return out
+}
+
+// countRequests reports the workload's total request count.
+func countRequests(in *model.Instance) int {
+	return in.Wl.TotalRequests()
+}
+
+// SimulateStrategy runs every request of the workload as a
+// store-and-forward flow along its Eq. 8 serving path. Requests arrive
+// uniformly over the spread window (spread = 0 means a synchronized
+// burst, the worst case for contention); arrival order is drawn from
+// the stream.
+func SimulateStrategy(in *model.Instance, st model.Strategy, spread units.Seconds, s *rng.Stream) *Report {
+	arrivals := Uniform{Window: spread}.Times(countRequests(in), s.Split("arrivals"))
+	return simulate(in, st, arrivals, s.Split("order"))
+}
+
+// simulate executes the workload's transfers with the given per-request
+// arrival offsets (workload request order).
+func simulate(in *model.Instance, st model.Strategy, arrivals []units.Seconds, s *rng.Stream) *Report {
+	net := NewNetwork(in)
+	sim := &Sim{}
+	rep := &Report{AnalyticAvg: in.AvgLatencyMode(st.Alloc, st.Delivery, st.Mode)}
+
+	type reqRef struct {
+		j, k int
+		idx  int
+	}
+	var reqs []reqRef
+	for j, items := range in.Wl.Requests {
+		for _, k := range items {
+			reqs = append(reqs, reqRef{j: j, k: k, idx: len(reqs)})
+		}
+	}
+	if len(arrivals) != len(reqs) {
+		panic(fmt.Sprintf("des: %d arrivals for %d requests", len(arrivals), len(reqs)))
+	}
+	rep.PerRequest = make([]units.Seconds, len(reqs))
+
+	// Schedule in arrival order; simultaneous arrivals tie-break by a
+	// seeded permutation so no request index is privileged.
+	order := s.Perm(len(reqs))
+	sort.SliceStable(order, func(a, b int) bool { return arrivals[order[a]] < arrivals[order[b]] })
+
+	for _, oi := range order {
+		r := reqs[oi]
+		at := arrivals[oi]
+		j, k, idx := r.j, r.k, r.idx
+		sim.Schedule(at, func() {
+			n := net
+			src, viaEdge := servingReplica(in, st, j, k)
+			if !viaEdge {
+				rep.CloudRequests++
+				target := 0
+				if a := st.Alloc[j]; a.Allocated() {
+					target = a.Server
+				}
+				done := n.cloud[target].Acquire(sim.Now(), in.Wl.Items[k].Size)
+				start := sim.Now()
+				sim.Schedule(done, func() { rep.PerRequest[idx] = sim.Now() - start })
+				return
+			}
+			if st.Mode != model.Collaborative {
+				// Coverage-local and server-local delivery happen over
+				// the air from the holder, without touching the wired
+				// network: completion is immediate on the Eq. 8 scale.
+				rep.PerRequest[idx] = 0
+				return
+			}
+			dst := st.Alloc[j].Server
+			path, _, ok := in.Top.Net.ShortestPath(src, dst)
+			if !ok {
+				path = []int{src}
+			}
+			start := sim.Now()
+			forwardHop(sim, n, rep, idx, path, 0, in.Wl.Items[k].Size, start)
+		})
+	}
+	rep.makespan = sim.Run()
+	rep.net = net
+	var total float64
+	for _, l := range rep.PerRequest {
+		total += float64(l)
+	}
+	if len(rep.PerRequest) > 0 {
+		rep.Avg = units.Seconds(total / float64(len(rep.PerRequest)))
+	}
+	rep.Events = sim.Steps()
+	return rep
+}
+
+// forwardHop moves the item across path[i]→path[i+1], store-and-forward.
+func forwardHop(sim *Sim, n *Network, rep *Report, idx int, path []int, i int, size units.MegaBytes, start units.Seconds) {
+	if i+1 >= len(path) {
+		rep.PerRequest[idx] = sim.Now() - start
+		return
+	}
+	res := n.link(path[i], path[i+1])
+	if res == nil {
+		// Link vanished (cannot happen for Eq. 8 paths); treat as done.
+		rep.PerRequest[idx] = sim.Now() - start
+		return
+	}
+	done := res.Acquire(sim.Now(), size)
+	sim.Schedule(done, func() { forwardHop(sim, n, rep, idx, path, i+1, size, start) })
+}
+
+// servingReplica resolves Eq. 8's argmin for request (j,k) under the
+// strategy's delivery mode: the edge server the item is fetched from,
+// or viaEdge=false for the cloud.
+func servingReplica(in *model.Instance, st model.Strategy, j, k int) (src int, viaEdge bool) {
+	a := st.Alloc[j]
+	if !a.Allocated() {
+		return -1, false
+	}
+	best := in.CloudLatency(k)
+	src = -1
+	switch st.Mode {
+	case model.Collaborative:
+		for o := 0; o < in.N(); o++ {
+			if st.Delivery.Placed(o, k) {
+				if l := in.EdgeLatency(k, o, a.Server); l < best || (src < 0 && l <= best) {
+					best = l
+					src = o
+				}
+			}
+		}
+	case model.CoverageLocal:
+		for _, o := range in.Top.Coverage[j] {
+			if st.Delivery.Placed(o, k) {
+				return o, true
+			}
+		}
+	case model.ServerLocal:
+		if st.Delivery.Placed(a.Server, k) {
+			return a.Server, true
+		}
+	}
+	if src < 0 {
+		return -1, false
+	}
+	return src, true
+}
+
+// MaxQueueingInflation reports max over requests of measured/analytic
+// latency (1 = no queueing anywhere). Requests with zero analytic
+// latency are skipped.
+func (rep *Report) MaxQueueingInflation(in *model.Instance, st model.Strategy) float64 {
+	worst := 1.0
+	idx := 0
+	for j, items := range in.Wl.Requests {
+		for _, k := range items {
+			analytic := in.RequestLatencyMode(st.Alloc, st.Delivery, j, k, st.Mode)
+			if analytic > 0 {
+				if ratio := float64(rep.PerRequest[idx]) / float64(analytic); ratio > worst && !math.IsInf(ratio, 0) {
+					worst = ratio
+				}
+			}
+			idx++
+		}
+	}
+	return worst
+}

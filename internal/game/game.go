@@ -1,0 +1,235 @@
+// Package game provides a generic best-response dynamics engine for
+// finite strategic games. The IDDE-U user-allocation game of IDDE-G's
+// Phase 1 and the DUP-G baseline both run on it.
+//
+// The engine implements the update protocol of Algorithm 1 (lines 5–21):
+// in every round each player computes its best response to the current
+// profile and, if it improves on the current decision, submits an update
+// request; one winner per round commits its move. For potential games
+// this serialization is exactly what makes the Monderer–Shapley finite
+// improvement property apply, so the dynamics terminate in a Nash
+// equilibrium. A faster round-robin policy (every player commits
+// immediately, in sequence) is provided as an ablation — it is also an
+// improvement path, hence also terminates on potential games, but it is
+// not the paper's protocol.
+package game
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Adapter connects a concrete game to the engine. Decisions are opaque
+// values of type D. Best must be safe for concurrent invocation with
+// distinct players while the profile is not being mutated; Apply is
+// always called from a single goroutine.
+type Adapter[D any] interface {
+	// NumPlayers reports the number of players.
+	NumPlayers() int
+	// Best returns player j's best response to the current profile
+	// together with its benefit, and the benefit of j's current
+	// decision.
+	Best(j int) (d D, benefit float64, current float64)
+	// Apply commits decision d for player j.
+	Apply(j int, d D)
+}
+
+// Policy selects the update arbitration.
+type Policy int
+
+const (
+	// WinnerTakesAll is Algorithm 1's protocol: all players propose,
+	// the largest improvement wins, one move commits per round.
+	WinnerTakesAll Policy = iota
+	// RoundRobin lets every player commit its best response in index
+	// order within a round; much faster in wall-clock, identical
+	// fixed points.
+	RoundRobin
+)
+
+func (p Policy) String() string {
+	switch p {
+	case WinnerTakesAll:
+		return "winner-takes-all"
+	case RoundRobin:
+		return "round-robin"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Options tunes the dynamics.
+type Options struct {
+	Policy Policy
+	// Epsilon is the minimum absolute benefit improvement that counts
+	// as an update request; it guards against floating-point livelock.
+	Epsilon float64
+	// MaxUpdates caps committed moves (0 means 200·players, comfortably
+	// above the Theorem 4 bound at the paper's scales).
+	MaxUpdates int
+	// PerPlayerCap bounds how many updates a single player may commit
+	// (0 = unlimited). The IDDE-U game is only a potential game under
+	// the uniform-gain assumption of Theorem 3's proof; with
+	// heterogeneous gains, best-response dynamics can cycle (a concrete
+	// two-player pursuit cycle is exhibited in the core tests). The cap
+	// operationalizes Theorem 4's bounded-iteration claim: players that
+	// exhaust their budget freeze at their current (already
+	// best-responded) decision, and the dynamics terminate in an
+	// equilibrium of the remaining players.
+	PerPlayerCap int
+	// Parallel enables the concurrent best-response scan.
+	Parallel bool
+}
+
+// DefaultOptions returns the engine configuration used by IDDE-G.
+func DefaultOptions() Options {
+	return Options{Policy: WinnerTakesAll, Epsilon: 1e-12, PerPlayerCap: 16, Parallel: true}
+}
+
+// Stats reports how the dynamics ran.
+type Stats struct {
+	// Rounds counts full best-response scans.
+	Rounds int
+	// Updates counts committed decision changes (the "iterations" of
+	// Theorem 4).
+	Updates int
+	// Converged reports whether the dynamics reached a fixed point: no
+	// eligible player can improve by more than Epsilon. Frozen players
+	// (if any) are reported separately.
+	Converged bool
+	// Frozen counts players that exhausted PerPlayerCap; their final
+	// decisions may admit improving deviations.
+	Frozen int
+}
+
+// Run executes best-response dynamics until no player can improve or
+// the update budget is exhausted.
+func Run[D any](a Adapter[D], opt Options) Stats {
+	n := a.NumPlayers()
+	if opt.MaxUpdates <= 0 {
+		opt.MaxUpdates = 200 * n
+		if opt.MaxUpdates < 1000 {
+			opt.MaxUpdates = 1000
+		}
+	}
+	var st Stats
+	if n == 0 {
+		st.Converged = true
+		return st
+	}
+
+	type proposal struct {
+		player int
+		d      D
+		gain   float64
+	}
+	props := make([]proposal, n)
+	moves := make([]int, n)
+	eligible := func(j int) bool {
+		return opt.PerPlayerCap <= 0 || moves[j] < opt.PerPlayerCap
+	}
+	countFrozen := func() int {
+		if opt.PerPlayerCap <= 0 {
+			return 0
+		}
+		f := 0
+		for _, m := range moves {
+			if m >= opt.PerPlayerCap {
+				f++
+			}
+		}
+		return f
+	}
+
+	scan := func() {
+		eval := func(j int) {
+			if !eligible(j) {
+				props[j] = proposal{player: j, gain: 0}
+				return
+			}
+			d, benefit, cur := a.Best(j)
+			props[j] = proposal{player: j, d: d, gain: benefit - cur}
+		}
+		if opt.Parallel && n >= 64 {
+			workers := runtime.GOMAXPROCS(0)
+			if workers > n {
+				workers = n
+			}
+			var wg sync.WaitGroup
+			chunk := (n + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				lo := w * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				if lo >= hi {
+					break
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					for j := lo; j < hi; j++ {
+						eval(j)
+					}
+				}(lo, hi)
+			}
+			wg.Wait()
+		} else {
+			for j := 0; j < n; j++ {
+				eval(j)
+			}
+		}
+	}
+
+	switch opt.Policy {
+	case WinnerTakesAll:
+		for st.Updates < opt.MaxUpdates {
+			st.Rounds++
+			scan()
+			winner := -1
+			bestGain := opt.Epsilon
+			for j := range props {
+				if props[j].gain > bestGain {
+					bestGain = props[j].gain
+					winner = j
+				}
+			}
+			if winner < 0 {
+				st.Converged = true
+				st.Frozen = countFrozen()
+				return st
+			}
+			a.Apply(winner, props[winner].d)
+			moves[winner]++
+			st.Updates++
+		}
+	case RoundRobin:
+		for st.Updates < opt.MaxUpdates {
+			st.Rounds++
+			moved := false
+			for j := 0; j < n && st.Updates < opt.MaxUpdates; j++ {
+				if !eligible(j) {
+					continue
+				}
+				d, benefit, cur := a.Best(j)
+				if benefit-cur > opt.Epsilon {
+					a.Apply(j, d)
+					moves[j]++
+					st.Updates++
+					moved = true
+				}
+			}
+			if !moved {
+				st.Converged = true
+				st.Frozen = countFrozen()
+				return st
+			}
+		}
+	default:
+		panic(fmt.Sprintf("game: unknown policy %d", int(opt.Policy)))
+	}
+	st.Frozen = countFrozen()
+	return st
+}

@@ -1,0 +1,186 @@
+// Package geo supplies the planar geometry used by the edge-storage
+// topology: points in a metric region, distances, coverage disks and a
+// spatial hash grid for efficient "which servers cover this user"
+// queries (the V_j and U_i sets of the paper's system model, §2.1).
+//
+// Coordinates are meters in an arbitrary local frame; the EUA-like
+// generator in internal/topology places servers and users in a region a
+// few kilometers across, matching the Melbourne CBD extract the paper
+// uses.
+package geo
+
+import (
+	"fmt"
+	"math"
+
+	"idde/internal/units"
+)
+
+// Point is a position in meters.
+type Point struct {
+	X, Y float64
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%.1f, %.1f)", p.X, p.Y) }
+
+// Dist reports the Euclidean distance between two points.
+func Dist(a, b Point) units.Meters {
+	dx := a.X - b.X
+	dy := a.Y - b.Y
+	return units.Meters(math.Hypot(dx, dy))
+}
+
+// Dist2 reports the squared Euclidean distance, avoiding the square root
+// for comparisons.
+func Dist2(a, b Point) float64 {
+	dx := a.X - b.X
+	dy := a.Y - b.Y
+	return dx*dx + dy*dy
+}
+
+// Rect is an axis-aligned rectangle.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Contains reports whether p lies inside r (inclusive bounds).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// Width and Height report the rectangle extents.
+func (r Rect) Width() float64  { return r.MaxX - r.MinX }
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Clamp returns p moved to the nearest point inside r.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Min(math.Max(p.X, r.MinX), r.MaxX),
+		Y: math.Min(math.Max(p.Y, r.MinY), r.MaxY),
+	}
+}
+
+// Disk is a coverage area: an edge server's radio footprint.
+type Disk struct {
+	Center Point
+	Radius units.Meters
+}
+
+// Covers reports whether p is within the disk (inclusive).
+func (d Disk) Covers(p Point) bool {
+	r := float64(d.Radius)
+	return Dist2(d.Center, p) <= r*r
+}
+
+// Grid is a uniform spatial hash over points, supporting range queries
+// in expected O(result) time. It indexes a fixed point set (servers are
+// static in IDDE scenarios), mapping each to the caller's integer id.
+type Grid struct {
+	cell    float64
+	origin  Point
+	buckets map[[2]int][]entry
+}
+
+type entry struct {
+	id int
+	p  Point
+}
+
+// NewGrid builds a grid with the given cell size (meters). Cell size
+// should be on the order of the typical query radius.
+func NewGrid(cellSize float64) *Grid {
+	if cellSize <= 0 {
+		panic("geo: NewGrid with non-positive cell size")
+	}
+	return &Grid{cell: cellSize, buckets: make(map[[2]int][]entry)}
+}
+
+func (g *Grid) key(p Point) [2]int {
+	return [2]int{
+		int(math.Floor((p.X - g.origin.X) / g.cell)),
+		int(math.Floor((p.Y - g.origin.Y) / g.cell)),
+	}
+}
+
+// Insert adds a point with an id.
+func (g *Grid) Insert(id int, p Point) {
+	k := g.key(p)
+	g.buckets[k] = append(g.buckets[k], entry{id: id, p: p})
+}
+
+// Len reports the number of indexed points.
+func (g *Grid) Len() int {
+	n := 0
+	for _, b := range g.buckets {
+		n += len(b)
+	}
+	return n
+}
+
+// Within returns the ids of all indexed points within radius of q, in
+// unspecified order.
+func (g *Grid) Within(q Point, radius units.Meters) []int {
+	r := float64(radius)
+	r2 := r * r
+	lo := g.key(Point{q.X - r, q.Y - r})
+	hi := g.key(Point{q.X + r, q.Y + r})
+	var out []int
+	for cx := lo[0]; cx <= hi[0]; cx++ {
+		for cy := lo[1]; cy <= hi[1]; cy++ {
+			for _, e := range g.buckets[[2]int{cx, cy}] {
+				if Dist2(q, e.p) <= r2 {
+					out = append(out, e.id)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Nearest returns the id of the indexed point closest to q and its
+// distance. It reports ok=false when the grid is empty. The search
+// expands ring by ring, so it stays fast when points are dense near q.
+func (g *Grid) Nearest(q Point) (id int, d units.Meters, ok bool) {
+	if len(g.buckets) == 0 {
+		return 0, 0, false
+	}
+	best := math.Inf(1)
+	bestID := -1
+	center := g.key(q)
+	for ring := 0; ; ring++ {
+		found := false
+		for cx := center[0] - ring; cx <= center[0]+ring; cx++ {
+			for cy := center[1] - ring; cy <= center[1]+ring; cy++ {
+				if ring > 0 && cx > center[0]-ring && cx < center[0]+ring &&
+					cy > center[1]-ring && cy < center[1]+ring {
+					continue // interior cells were scanned on earlier rings
+				}
+				b, exists := g.buckets[[2]int{cx, cy}]
+				if !exists {
+					continue
+				}
+				found = true
+				for _, e := range b {
+					if d2 := Dist2(q, e.p); d2 < best {
+						best = d2
+						bestID = e.id
+					}
+				}
+			}
+		}
+		// Once a candidate exists, one extra ring guarantees correctness:
+		// any closer point must lie within best distance, which fits in
+		// the scanned rings after expanding once more past the hit ring.
+		if bestID >= 0 && float64(ring)*g.cell >= math.Sqrt(best) {
+			return bestID, units.Meters(math.Sqrt(best)), true
+		}
+		if ring > 1<<20 {
+			// Unreachable for non-empty grids; guards infinite loops.
+			if bestID >= 0 {
+				return bestID, units.Meters(math.Sqrt(best)), true
+			}
+			return 0, 0, false
+		}
+		_ = found
+	}
+}

@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"math"
+	"sort"
+
+	"idde/internal/units"
+)
+
+// MST computes a minimum spanning tree with Kruskal's algorithm and
+// returns its edges. It returns ok=false when the graph is disconnected.
+func (g *Graph) MST() (edges []Edge, total units.SecondsPerMB, ok bool) {
+	all := g.Edges()
+	sort.Slice(all, func(i, j int) bool { return all[i].Cost < all[j].Cost })
+	uf := newUnionFind(g.n)
+	for _, e := range all {
+		if uf.union(e.U, e.V) {
+			edges = append(edges, e)
+			total += e.Cost
+			if len(edges) == g.n-1 {
+				break
+			}
+		}
+	}
+	if g.n > 0 && len(edges) != g.n-1 {
+		return nil, 0, false
+	}
+	return edges, total, true
+}
+
+// RoutingCost reports the total all-pairs routing cost of the graph: the
+// sum of shortest-path costs over all ordered vertex pairs. This is the
+// objective of the minimum routing cost spanning tree (MRCS) problem the
+// paper reduces from in Theorem 1.
+func (g *Graph) RoutingCost() units.SecondsPerMB {
+	total := units.SecondsPerMB(0)
+	for _, row := range g.APSP() {
+		for _, c := range row {
+			if !math.IsInf(float64(c), 1) {
+				total += c
+			}
+		}
+	}
+	return total
+}
+
+// MRCSApprox computes a 2-approximate minimum routing cost spanning tree
+// using the classic shortest-path-tree heuristic: for every vertex r,
+// build the shortest-path tree rooted at r and keep the tree with the
+// lowest routing cost. (Wong 1980: the best shortest-path tree is within
+// a factor 2 of the optimal routing-cost tree.) It returns ok=false on
+// disconnected graphs.
+func (g *Graph) MRCSApprox() (tree *Graph, cost units.SecondsPerMB, ok bool) {
+	if g.n == 0 {
+		return New(0), 0, true
+	}
+	if !g.Connected() {
+		return nil, 0, false
+	}
+	best := units.SecondsPerMB(math.Inf(1))
+	var bestTree *Graph
+	for r := 0; r < g.n; r++ {
+		t := g.shortestPathTree(r)
+		if c := t.RoutingCost(); c < best {
+			best = c
+			bestTree = t
+		}
+	}
+	return bestTree, best, true
+}
+
+// shortestPathTree builds the tree of shortest paths from root r
+// (deterministic tie-break on parent index).
+func (g *Graph) shortestPathTree(r int) *Graph {
+	dist := g.Dijkstra(r)
+	t := New(g.n)
+	for v := 0; v < g.n; v++ {
+		if v == r || math.IsInf(float64(dist[v]), 1) {
+			continue
+		}
+		// The parent is a neighbor u with dist[u] + w(u,v) == dist[v].
+		bestParent := -1
+		var bestCost units.SecondsPerMB
+		for _, e := range g.adj[v] {
+			if math.Abs(float64(dist[e.to]+e.cost-dist[v])) <= 1e-15*math.Max(1, float64(dist[v])) {
+				if bestParent < 0 || e.to < bestParent {
+					bestParent = e.to
+					bestCost = e.cost
+				}
+			}
+		}
+		if bestParent >= 0 {
+			t.AddEdge(v, bestParent, bestCost)
+		}
+	}
+	return t
+}
+
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) bool {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return false
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+	return true
+}

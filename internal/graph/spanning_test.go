@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"idde/internal/rng"
+)
+
+func TestMSTKnown(t *testing.T) {
+	// Classic 4-cycle with a diagonal.
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(2, 3, 3)
+	g.AddEdge(3, 0, 4)
+	g.AddEdge(0, 2, 5)
+	edges, total, ok := g.MST()
+	if !ok {
+		t.Fatal("MST failed on connected graph")
+	}
+	if len(edges) != 3 || total != 6 {
+		t.Errorf("MST total = %v with %d edges, want 6 with 3", total, len(edges))
+	}
+}
+
+func TestMSTDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	if _, _, ok := g.MST(); ok {
+		t.Error("MST succeeded on disconnected graph")
+	}
+}
+
+func TestMSTIsSpanningTree(t *testing.T) {
+	s := rng.New(55)
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + s.IntN(40)
+		g := RandomConnected(n, 3*n, 2000, 6000, s.SplitN("t", trial))
+		edges, _, ok := g.MST()
+		if !ok {
+			t.Fatal("MST failed")
+		}
+		if len(edges) != n-1 {
+			t.Fatalf("MST has %d edges, want %d", len(edges), n-1)
+		}
+		tree := New(n)
+		for _, e := range edges {
+			tree.AddEdge(e.U, e.V, e.Cost)
+		}
+		if !tree.Connected() {
+			t.Fatal("MST not connected")
+		}
+	}
+}
+
+func TestRoutingCostLine(t *testing.T) {
+	// Path 0-1-2 (unit costs): ordered-pair routing cost = 2*(1+2+1)=8.
+	g := line(3)
+	if rc := g.RoutingCost(); rc != 8 {
+		t.Errorf("RoutingCost = %v, want 8", rc)
+	}
+}
+
+func TestMRCSApproxWithinFactor2OfTreeEnumeration(t *testing.T) {
+	// On small graphs, compare against the best spanning tree found by
+	// enumerating all spanning trees via edge subsets.
+	s := rng.New(56)
+	for trial := 0; trial < 5; trial++ {
+		n := 5
+		g := RandomConnected(n, 8, 2000, 6000, s.SplitN("t", trial))
+		_, approx, ok := g.MRCSApprox()
+		if !ok {
+			t.Fatal("MRCSApprox failed")
+		}
+		best := bestSpanningTreeRoutingCost(g)
+		if float64(approx) > 2*best+1e-12 {
+			t.Errorf("trial %d: approx %v exceeds 2×optimal %v", trial, float64(approx), best)
+		}
+		if float64(approx) < best-1e-12 {
+			t.Errorf("trial %d: approx %v beats optimal %v (enumeration bug?)", trial, float64(approx), best)
+		}
+	}
+}
+
+// bestSpanningTreeRoutingCost enumerates all (n-1)-subsets of edges and
+// returns the minimum routing cost over spanning trees. Exponential;
+// test-only, for tiny graphs.
+func bestSpanningTreeRoutingCost(g *Graph) float64 {
+	edges := g.Edges()
+	n := g.N()
+	best := math.Inf(1)
+	var rec func(start int, chosen []Edge)
+	rec = func(start int, chosen []Edge) {
+		if len(chosen) == n-1 {
+			t := New(n)
+			for _, e := range chosen {
+				t.AddEdge(e.U, e.V, e.Cost)
+			}
+			if !t.Connected() {
+				return
+			}
+			if c := float64(t.RoutingCost()); c < best {
+				best = c
+			}
+			return
+		}
+		if start >= len(edges) || len(edges)-start < n-1-len(chosen) {
+			return
+		}
+		rec(start+1, append(chosen, edges[start]))
+		rec(start+1, chosen)
+	}
+	rec(0, nil)
+	return best
+}
+
+func TestMRCSApproxDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	if _, _, ok := g.MRCSApprox(); ok {
+		t.Error("MRCSApprox succeeded on disconnected graph")
+	}
+}
+
+func TestMRCSApproxEmpty(t *testing.T) {
+	tree, cost, ok := New(0).MRCSApprox()
+	if !ok || cost != 0 || tree.N() != 0 {
+		t.Error("empty graph MRCS wrong")
+	}
+}
+
+func TestMRCSApproxResultIsSpanningTree(t *testing.T) {
+	s := rng.New(57)
+	g := RandomConnected(20, 45, 2000, 6000, s)
+	tree, _, ok := g.MRCSApprox()
+	if !ok {
+		t.Fatal("MRCSApprox failed")
+	}
+	if tree.M() != 19 || !tree.Connected() {
+		t.Errorf("result not a spanning tree: M=%d connected=%v", tree.M(), tree.Connected())
+	}
+	// Every tree edge must exist in the original graph.
+	for _, e := range tree.Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			t.Errorf("tree edge (%d,%d) not in graph", e.U, e.V)
+		}
+	}
+}

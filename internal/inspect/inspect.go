@@ -1,0 +1,185 @@
+// Package inspect provides scenario and strategy introspection for
+// operators: summary statistics of a topology (coverage depth, channel
+// inventory, link structure), occupancy analysis of an allocation, and
+// Graphviz DOT export of the edge network with an overlaid strategy —
+// the kind of observability a deployable edge storage system ships with.
+package inspect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"idde/internal/model"
+	"idde/internal/stats"
+)
+
+// TopologyStats summarizes a scenario's physical layout.
+type TopologyStats struct {
+	Servers, Users, Links int
+	Channels              int
+	// CoverageDepth is the distribution of |V_j| over users.
+	CoverageDepth stats.Summary
+	// ServerLoad is the distribution of |U_i| over servers.
+	ServerLoad stats.Summary
+	// Degree is the wired-network degree distribution.
+	Degree stats.Summary
+	// UncoveredUsers counts users with empty V_j.
+	UncoveredUsers int
+}
+
+// Topology computes layout statistics for an instance.
+func Topology(in *model.Instance) TopologyStats {
+	ts := TopologyStats{
+		Servers:  in.N(),
+		Users:    in.M(),
+		Links:    in.Top.Net.M(),
+		Channels: in.Top.TotalChannels(),
+	}
+	var cov, load, deg stats.Acc
+	for j := 0; j < in.M(); j++ {
+		d := len(in.Top.Coverage[j])
+		cov.Add(float64(d))
+		if d == 0 {
+			ts.UncoveredUsers++
+		}
+	}
+	for i := 0; i < in.N(); i++ {
+		load.Add(float64(len(in.Top.Covered[i])))
+		deg.Add(float64(in.Top.Net.Degree(i)))
+	}
+	ts.CoverageDepth = cov.Summary()
+	ts.ServerLoad = load.Summary()
+	ts.Degree = deg.Summary()
+	return ts
+}
+
+// OccupancyStats summarizes how an allocation uses the spectrum.
+type OccupancyStats struct {
+	Allocated int
+	// PerChannel is the distribution of users per (server, channel).
+	PerChannel stats.Summary
+	// BusiestServer and its user count.
+	BusiestServer, BusiestCount int
+	// EmptyChannels counts unused channels.
+	EmptyChannels int
+	// RateJain is Jain's fairness index over allocated users' rates.
+	RateJain float64
+}
+
+// Occupancy analyzes an allocation profile.
+func Occupancy(in *model.Instance, alloc model.Allocation) OccupancyStats {
+	os := OccupancyStats{BusiestServer: -1}
+	perServer := make([]int, in.N())
+	perChannel := map[[2]int]int{}
+	for j, a := range alloc {
+		if !a.Allocated() {
+			continue
+		}
+		os.Allocated++
+		perServer[a.Server]++
+		perChannel[[2]int{a.Server, a.Channel}]++
+		_ = j
+	}
+	var occ stats.Acc
+	total := 0
+	for i := 0; i < in.N(); i++ {
+		for x := 0; x < in.Top.Servers[i].Channels; x++ {
+			n := perChannel[[2]int{i, x}]
+			occ.Add(float64(n))
+			if n == 0 {
+				os.EmptyChannels++
+			}
+			total++
+		}
+		if os.BusiestServer < 0 || perServer[i] > os.BusiestCount {
+			os.BusiestServer, os.BusiestCount = i, perServer[i]
+		}
+	}
+	os.PerChannel = occ.Summary()
+
+	l := model.NewLedger(in, alloc)
+	var sum, sumSq float64
+	n := 0
+	for j := range alloc {
+		if !alloc[j].Allocated() {
+			continue
+		}
+		r := float64(l.CurrentRate(j))
+		sum += r
+		sumSq += r * r
+		n++
+	}
+	if n > 0 && sumSq > 0 {
+		os.RateJain = sum * sum / (float64(n) * sumSq)
+	}
+	return os
+}
+
+// DOT renders the edge network as a Graphviz digraph-free graph, with
+// optional strategy overlay: servers become nodes labeled with their
+// user and replica counts, wired links become edges labeled with speed.
+func DOT(in *model.Instance, st *model.Strategy) string {
+	var b strings.Builder
+	b.WriteString("graph edgestorage {\n")
+	b.WriteString("  layout=neato;\n  node [shape=circle fontsize=10];\n")
+
+	users := make([]int, in.N())
+	replicas := make([]int, in.N())
+	if st != nil {
+		for _, a := range st.Alloc {
+			if a.Allocated() {
+				users[a.Server]++
+			}
+		}
+		for i := 0; i < in.N(); i++ {
+			for k := 0; k < in.K(); k++ {
+				if st.Delivery.Placed(i, k) {
+					replicas[i]++
+				}
+			}
+		}
+	}
+	for i := 0; i < in.N(); i++ {
+		pos := in.Top.Servers[i].Pos
+		label := fmt.Sprintf("v%d", i)
+		if st != nil {
+			label = fmt.Sprintf("v%d\\n%du/%dr", i, users[i], replicas[i])
+		}
+		fmt.Fprintf(&b, "  v%d [label=\"%s\" pos=\"%.0f,%.0f\"];\n", i, label, pos.X/10, pos.Y/10)
+	}
+	edges := in.Top.Net.Edges()
+	sort.Slice(edges, func(a, c int) bool {
+		if edges[a].U != edges[c].U {
+			return edges[a].U < edges[c].U
+		}
+		return edges[a].V < edges[c].V
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  v%d -- v%d [label=\"%.0f\"];\n", e.U, e.V, 1/float64(e.Cost))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Report renders a human-readable scenario/strategy summary.
+func Report(in *model.Instance, st *model.Strategy) string {
+	ts := Topology(in)
+	var b strings.Builder
+	fmt.Fprintf(&b, "topology: %d servers, %d users, %d links, %d channels\n",
+		ts.Servers, ts.Users, ts.Links, ts.Channels)
+	fmt.Fprintf(&b, "  coverage depth |V_j|: %s\n", ts.CoverageDepth)
+	fmt.Fprintf(&b, "  server load |U_i|:    %s\n", ts.ServerLoad)
+	fmt.Fprintf(&b, "  wired degree:         %s\n", ts.Degree)
+	if ts.UncoveredUsers > 0 {
+		fmt.Fprintf(&b, "  WARNING: %d users outside all coverage\n", ts.UncoveredUsers)
+	}
+	if st != nil {
+		os := Occupancy(in, st.Alloc)
+		fmt.Fprintf(&b, "allocation: %d/%d users allocated\n", os.Allocated, ts.Users)
+		fmt.Fprintf(&b, "  per-channel occupancy: %s (%d empty)\n", os.PerChannel, os.EmptyChannels)
+		fmt.Fprintf(&b, "  busiest server: v%d with %d users\n", os.BusiestServer, os.BusiestCount)
+		fmt.Fprintf(&b, "  rate fairness (Jain): %.3f\n", os.RateJain)
+	}
+	return b.String()
+}

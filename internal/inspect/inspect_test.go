@@ -1,0 +1,116 @@
+package inspect
+
+import (
+	"strings"
+	"testing"
+
+	"idde/internal/core"
+	"idde/internal/model"
+	"idde/internal/radio"
+	"idde/internal/rng"
+	"idde/internal/topology"
+	"idde/internal/workload"
+)
+
+func genInstance(t *testing.T, n, m, k int, seed uint64) *model.Instance {
+	t.Helper()
+	s := rng.New(seed)
+	top, err := topology.Generate(topology.DefaultGen(n, m, 1.2), s.Split("top"))
+	if err != nil {
+		t.Fatalf("topology: %v", err)
+	}
+	wl, err := workload.Generate(workload.DefaultGen(k), n, m, s.Split("wl"))
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	in, err := model.New(top, wl, radio.Default())
+	if err != nil {
+		t.Fatalf("model: %v", err)
+	}
+	return in
+}
+
+func TestTopologyStats(t *testing.T) {
+	in := genInstance(t, 12, 80, 4, 1)
+	ts := Topology(in)
+	if ts.Servers != 12 || ts.Users != 80 || ts.Channels != 36 {
+		t.Errorf("dims wrong: %+v", ts)
+	}
+	if ts.Links != in.Top.Net.M() {
+		t.Errorf("links = %d", ts.Links)
+	}
+	if ts.CoverageDepth.Mean < 1 {
+		t.Errorf("coverage depth %v", ts.CoverageDepth.Mean)
+	}
+	if ts.UncoveredUsers != 0 {
+		t.Errorf("uncovered users %d in a generated topology", ts.UncoveredUsers)
+	}
+	// Handshake: Σ|U_i| == Σ|V_j|.
+	if ts.ServerLoad.Mean*float64(ts.Servers) != ts.CoverageDepth.Mean*float64(ts.Users) {
+		t.Errorf("coverage handshake violated")
+	}
+}
+
+func TestOccupancyStats(t *testing.T) {
+	in := genInstance(t, 12, 100, 4, 2)
+	st := core.Solve(in, core.DefaultOptions()).Strategy
+	os := Occupancy(in, st.Alloc)
+	if os.Allocated != 100 {
+		t.Errorf("allocated = %d", os.Allocated)
+	}
+	// Mean occupancy × channels == allocated.
+	if got := os.PerChannel.Mean * float64(in.Top.TotalChannels()); got < 99.9 || got > 100.1 {
+		t.Errorf("occupancy mass = %v", got)
+	}
+	if os.BusiestServer < 0 || os.BusiestCount <= 0 {
+		t.Errorf("busiest server wrong: %+v", os)
+	}
+	if os.RateJain <= 0 || os.RateJain > 1+1e-9 {
+		t.Errorf("Jain = %v", os.RateJain)
+	}
+	// Empty allocation.
+	empty := Occupancy(in, model.NewAllocation(in.M()))
+	if empty.Allocated != 0 || empty.RateJain != 0 {
+		t.Errorf("empty occupancy wrong: %+v", empty)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	in := genInstance(t, 8, 40, 3, 3)
+	st := core.Solve(in, core.DefaultOptions()).Strategy
+	dot := DOT(in, &st)
+	if !strings.HasPrefix(dot, "graph edgestorage {") || !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Error("DOT framing wrong")
+	}
+	for i := 0; i < 8; i++ {
+		if !strings.Contains(dot, "v"+string(rune('0'+i))) {
+			t.Errorf("node v%d missing", i)
+		}
+	}
+	if strings.Count(dot, " -- ") != in.Top.Net.M() {
+		t.Errorf("edge count = %d, want %d", strings.Count(dot, " -- "), in.Top.Net.M())
+	}
+	if !strings.Contains(dot, "u/") {
+		t.Error("strategy overlay missing")
+	}
+	// Without a strategy, plain labels.
+	plain := DOT(in, nil)
+	if strings.Contains(plain, "u/") {
+		t.Error("overlay present without strategy")
+	}
+}
+
+func TestReport(t *testing.T) {
+	in := genInstance(t, 10, 60, 3, 4)
+	st := core.Solve(in, core.DefaultOptions()).Strategy
+	rep := Report(in, &st)
+	for _, want := range []string{"topology:", "coverage depth", "allocation:", "rate fairness"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	bare := Report(in, nil)
+	if strings.Contains(bare, "allocation:") {
+		t.Error("bare report contains strategy section")
+	}
+}

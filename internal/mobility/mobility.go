@@ -1,0 +1,239 @@
+// Package mobility implements the paper's stated future work (§6):
+// "the dynamics of user movements and data migrations in IDDE
+// scenarios". It advances a scenario through epochs of a random-waypoint
+// mobility model, re-formulates the IDDE strategy each epoch, and
+// accounts for the data migration the changing delivery profile implies
+// — the volume shipped between edge servers and the wall-clock cost of
+// shipping it over the same wired links Eq. 8 routes over.
+package mobility
+
+import (
+	"fmt"
+	"math"
+
+	"idde/internal/geo"
+	"idde/internal/model"
+	"idde/internal/radio"
+	"idde/internal/rng"
+	"idde/internal/topology"
+	"idde/internal/workload"
+)
+
+// Config parametrizes an epoch simulation.
+type Config struct {
+	// Epochs is the number of re-formulation rounds after the initial
+	// one.
+	Epochs int
+	// EpochSeconds is the wall-clock length of one epoch.
+	EpochSeconds float64
+	// Speed is the [min,max] user speed in m/s (pedestrians ≈ 0.5–2,
+	// vehicles ≈ 5–20).
+	Speed [2]float64
+	// Pause is the probability a user rests for a whole epoch.
+	Pause float64
+	// StickyDelivery freezes the delivery profile after epoch 0: only
+	// the user allocation re-runs, trading delivery latency for zero
+	// migration traffic. The default re-solves both phases each epoch.
+	StickyDelivery bool
+}
+
+// DefaultConfig is a pedestrian scenario with one-minute epochs.
+func DefaultConfig() Config {
+	return Config{Epochs: 10, EpochSeconds: 60, Speed: [2]float64{0.5, 2.0}, Pause: 0.2}
+}
+
+// Epoch reports one epoch's outcome.
+type Epoch struct {
+	Epoch int
+	// RateMBps and LatencyMs are the two IDDE objectives this epoch.
+	RateMBps  float64
+	LatencyMs float64
+	// Handover counts users whose serving server changed since the
+	// previous epoch.
+	Handover int
+	// Uncovered counts users outside every server's footprint (they
+	// fetch from the cloud until they wander back).
+	Uncovered int
+	// MigratedMB is the replica volume shipped between edge servers or
+	// from the cloud to realize this epoch's delivery profile.
+	MigratedMB float64
+	// MigrationSeconds is the time to ship that volume over the
+	// cheapest paths (transfers in parallel; this is the max, i.e. the
+	// reconfiguration makespan).
+	MigrationSeconds float64
+	// Replicas is the delivery profile size this epoch.
+	Replicas int
+}
+
+// Solver formulates a strategy for an instance (typically IDDE-G, but
+// any baseline fits).
+type Solver func(in *model.Instance) model.Strategy
+
+// waypoint is per-user random-waypoint state.
+type waypoint struct {
+	target geo.Point
+	speed  float64
+	pause  bool
+}
+
+// Simulate runs the epoch loop. The topology's users move; servers,
+// links and the workload stay fixed. The returned slice has
+// cfg.Epochs+1 entries (epoch 0 is the initial formulation).
+func Simulate(top *topology.Topology, wl *workload.Workload, solve Solver, cfg Config, s *rng.Stream) ([]Epoch, error) {
+	if cfg.Epochs < 0 {
+		return nil, fmt.Errorf("mobility: negative epoch count")
+	}
+	if cfg.EpochSeconds <= 0 {
+		return nil, fmt.Errorf("mobility: non-positive epoch length")
+	}
+	if cfg.Speed[1] < cfg.Speed[0] || cfg.Speed[0] < 0 {
+		return nil, fmt.Errorf("mobility: bad speed range %v", cfg.Speed)
+	}
+
+	cur := cloneTopology(top)
+	if err := cur.Finalize(); err != nil {
+		return nil, err
+	}
+	move := s.Split("waypoints")
+	wps := make([]waypoint, len(cur.Users))
+	for j := range wps {
+		wps[j] = newWaypoint(cur.Region, cfg, move.SplitN("user", j))
+	}
+
+	var out []Epoch
+	var prev model.Strategy
+	var prevAlloc model.Allocation
+	havePrev := false
+
+	for e := 0; e <= cfg.Epochs; e++ {
+		if e > 0 {
+			for j := range cur.Users {
+				wps[j].step(&cur.Users[j].Pos, cur.Region, cfg, move.SplitN("step", e*len(wps)+j))
+			}
+			if err := cur.Finalize(); err != nil {
+				return nil, err
+			}
+		}
+		in, err := model.New(cur, wl, radio.Default())
+		if err != nil {
+			return nil, err
+		}
+
+		var st model.Strategy
+		if cfg.StickyDelivery && havePrev {
+			st = solve(in)
+			st.Delivery = prev.Delivery // freeze σ from epoch 0
+		} else {
+			st = solve(in)
+		}
+
+		ep := Epoch{Epoch: e, Replicas: st.Delivery.Count()}
+		rate, lat := in.Evaluate(st)
+		ep.RateMBps = float64(rate)
+		ep.LatencyMs = lat.Millis()
+		for j := range cur.Users {
+			if len(cur.Coverage[j]) == 0 {
+				ep.Uncovered++
+			}
+		}
+		if havePrev {
+			ep.Handover = countHandovers(prevAlloc, st.Alloc)
+			ep.MigratedMB, ep.MigrationSeconds = migrationCost(in, prev.Delivery, st.Delivery)
+		}
+		out = append(out, ep)
+		prev = st
+		prevAlloc = st.Alloc.Clone()
+		havePrev = true
+	}
+	return out, nil
+}
+
+// cloneTopology deep-copies the mutable parts of a topology (user
+// positions change every epoch); the wired network is immutable across
+// epochs and is shared.
+func cloneTopology(top *topology.Topology) *topology.Topology {
+	return &topology.Topology{
+		Region:         top.Region,
+		Servers:        append([]topology.Server(nil), top.Servers...),
+		Users:          append([]topology.User(nil), top.Users...),
+		Net:            top.Net,
+		CloudRate:      top.CloudRate,
+		AllowPartition: top.AllowPartition,
+	}
+}
+
+func newWaypoint(region geo.Rect, cfg Config, s *rng.Stream) waypoint {
+	return waypoint{
+		target: geo.Point{X: s.Uniform(region.MinX, region.MaxX), Y: s.Uniform(region.MinY, region.MaxY)},
+		speed:  s.Uniform(cfg.Speed[0], cfg.Speed[1]),
+		pause:  s.Bool(cfg.Pause),
+	}
+}
+
+// step advances a user toward its waypoint for one epoch; on arrival a
+// fresh waypoint (and speed) is drawn.
+func (w *waypoint) step(pos *geo.Point, region geo.Rect, cfg Config, s *rng.Stream) {
+	if w.pause {
+		w.pause = s.Bool(cfg.Pause)
+		return
+	}
+	budget := w.speed * cfg.EpochSeconds
+	for budget > 0 {
+		dx := w.target.X - pos.X
+		dy := w.target.Y - pos.Y
+		dist := math.Hypot(dx, dy)
+		if dist <= budget {
+			*pos = w.target
+			budget -= dist
+			w.target = geo.Point{X: s.Uniform(region.MinX, region.MaxX), Y: s.Uniform(region.MinY, region.MaxY)}
+			w.speed = s.Uniform(cfg.Speed[0], cfg.Speed[1])
+			if s.Bool(cfg.Pause) {
+				w.pause = true
+				return
+			}
+			continue
+		}
+		pos.X += dx / dist * budget
+		pos.Y += dy / dist * budget
+		budget = 0
+	}
+	*pos = region.Clamp(*pos)
+}
+
+func countHandovers(prev, next model.Allocation) int {
+	n := 0
+	for j := range next {
+		if prev[j].Server != next[j].Server {
+			n++
+		}
+	}
+	return n
+}
+
+// migrationCost computes what realizing `next` from `prev` ships: every
+// replica present in next but not in prev moves from the nearest
+// previous holder of the item (or the cloud if no edge server held it).
+// Transfers run in parallel; the reported time is the slowest one.
+func migrationCost(in *model.Instance, prev, next *model.Delivery) (mb float64, seconds float64) {
+	for i := 0; i < in.N(); i++ {
+		for k := 0; k < in.K(); k++ {
+			if !next.Placed(i, k) || prev.Placed(i, k) {
+				continue
+			}
+			size := in.Wl.Items[k].Size
+			mb += float64(size)
+			best := in.CloudLatency(k)
+			for o := 0; o < in.N(); o++ {
+				if prev.Placed(o, k) {
+					if l := in.EdgeLatency(k, o, i); l < best {
+						best = l
+					}
+				}
+			}
+			if float64(best) > seconds {
+				seconds = float64(best)
+			}
+		}
+	}
+	return mb, seconds
+}

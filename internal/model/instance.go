@@ -1,0 +1,75 @@
+// Package model defines the IDDE problem instance and its two decision
+// profiles — the user allocation profile α (Definition 1) and the data
+// delivery profile σ (Definition 2) — together with evaluators for the
+// two objectives: the users' average data rate R_avg (Eqs. 2–5) and the
+// average data delivery latency L_avg (Eqs. 8–9), plus the constraint
+// checks of Eqs. (1), (6) and (7)/(8).
+//
+// Two incremental evaluators make the algorithms fast: Ledger maintains
+// per-channel power sums for O(|V_j|·avg-channel-occupancy) best-response
+// scans in the IDDE-U game, and LatencyState maintains per-request best
+// latencies for O(requests-of-item) marginal gains in the greedy delivery
+// phase.
+package model
+
+import (
+	"fmt"
+
+	"idde/internal/radio"
+	"idde/internal/topology"
+	"idde/internal/units"
+	"idde/internal/workload"
+)
+
+// Instance is an immutable IDDE problem: a topology, a workload over it
+// and the radio propagation model, with the server×user gain matrix
+// precomputed (both the serving gain g_{i,x,j} and the inter-cell
+// interference terms g_{i,x,t} of Eq. 2 read from it).
+type Instance struct {
+	Top   *topology.Topology
+	Wl    *workload.Workload
+	Radio radio.Model
+	// Gain[i][j] is the channel gain between server i and user j. The
+	// paper's gain depends only on (server, user) distance, not on the
+	// channel index, so a 2-D matrix suffices.
+	Gain [][]float64
+}
+
+// New validates the pieces against each other and precomputes gains.
+func New(top *topology.Topology, wl *workload.Workload, rm radio.Model) (*Instance, error) {
+	if top == nil || wl == nil {
+		return nil, fmt.Errorf("model: nil topology or workload")
+	}
+	if err := wl.Validate(top.N(), top.M()); err != nil {
+		return nil, err
+	}
+	if top.Dist == nil {
+		return nil, fmt.Errorf("model: topology not finalized")
+	}
+	in := &Instance{Top: top, Wl: wl, Radio: rm}
+	in.Gain = make([][]float64, top.N())
+	for i := range in.Gain {
+		in.Gain[i] = make([]float64, top.M())
+		for j := range in.Gain[i] {
+			in.Gain[i][j] = rm.Gain(top.Dist[i][j])
+		}
+	}
+	return in, nil
+}
+
+// N, M and K report the instance dimensions.
+func (in *Instance) N() int { return in.Top.N() }
+func (in *Instance) M() int { return in.Top.M() }
+func (in *Instance) K() int { return in.Wl.K() }
+
+// CloudLatency reports the Eq. (8) latency of retrieving item k from
+// the remote cloud (the σ_{cloud,k}=1 fallback of Eq. 7).
+func (in *Instance) CloudLatency(k int) units.Seconds {
+	return in.Top.CloudCost.Times(in.Wl.Items[k].Size)
+}
+
+// EdgeLatency reports the Eq. (8) latency of delivering item k from
+// server o to server i over the wired edge network.
+func (in *Instance) EdgeLatency(k, o, i int) units.Seconds {
+	return in.Top.PathCost[o][i].Times(in.Wl.Items[k].Size)
+}

@@ -1,0 +1,226 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"idde/internal/rng"
+	"idde/internal/units"
+)
+
+// allocateNearest gives every user its highest-gain covering server,
+// round-robin over channels — a valid allocation for latency tests.
+func allocateNearest(in *Instance) Allocation {
+	a := NewAllocation(in.M())
+	for j := 0; j < in.M(); j++ {
+		best, bestG := -1, -1.0
+		for _, i := range in.Top.Coverage[j] {
+			if in.Gain[i][j] > bestG {
+				best, bestG = i, in.Gain[i][j]
+			}
+		}
+		if best >= 0 {
+			a[j] = Alloc{Server: best, Channel: j % in.Top.Servers[best].Channels}
+		}
+	}
+	return a
+}
+
+func TestLatencyStateInitialCloudOnly(t *testing.T) {
+	in := tinyInstance(t)
+	a := allocateNearest(in)
+	ls := NewLatencyState(in, a)
+	if ls.Requests() != 4 {
+		t.Fatalf("Requests = %d, want 4", ls.Requests())
+	}
+	// All from cloud: u0:d0=50ms, u1:d0=50ms+d1=150ms, u2:d1=150ms.
+	want := (0.05 + 0.05 + 0.15 + 0.15) / 4
+	if got := float64(ls.Avg()); math.Abs(got-want) > 1e-12 {
+		t.Errorf("initial Avg = %v, want %v", got, want)
+	}
+	// Matches the from-scratch evaluator with an empty delivery.
+	d := NewDelivery(2, 2)
+	if got, ref := float64(ls.Avg()), float64(in.AvgLatency(a, d)); math.Abs(got-ref) > 1e-12 {
+		t.Errorf("state %v != scratch %v", got, ref)
+	}
+}
+
+func TestGainOfAndCommitKnownValues(t *testing.T) {
+	in := tinyInstance(t)
+	a := Allocation{
+		{Server: 0, Channel: 0}, // u0 → v0
+		{Server: 1, Channel: 0}, // u1 → v1
+		{Server: 1, Channel: 1}, // u2 → v1
+	}
+	ls := NewLatencyState(in, a)
+	// Placing d0 (30MB) on v0: u0 gets it locally (0ms, saving 50ms);
+	// u1 is served at v1, one hop away: 30MB/3000MBps = 10ms (saving
+	// 40ms). Total gain 90ms.
+	gain := float64(ls.GainOf(0, 0))
+	if math.Abs(gain-0.09) > 1e-12 {
+		t.Fatalf("GainOf(0,0) = %v, want 0.09", gain)
+	}
+	realized := float64(ls.Commit(0, 0))
+	if math.Abs(realized-gain) > 1e-15 {
+		t.Fatalf("Commit returned %v, GainOf said %v", realized, gain)
+	}
+	// After commit, placing d0 on v1 only improves u1 (10ms → 0).
+	gain2 := float64(ls.GainOf(1, 0))
+	if math.Abs(gain2-0.01) > 1e-12 {
+		t.Errorf("GainOf(1,0) after commit = %v, want 0.01", gain2)
+	}
+	// d1 on v1: u1 and u2 both local (each saving 150ms).
+	if g := float64(ls.GainOf(1, 1)); math.Abs(g-0.30) > 1e-12 {
+		t.Errorf("GainOf(1,1) = %v, want 0.30", g)
+	}
+}
+
+func TestLatencyStateMatchesFromScratch(t *testing.T) {
+	in := genInstance(t, 12, 60, 5, 71)
+	a := allocateNearest(in)
+	ls := NewLatencyState(in, a)
+	d := NewDelivery(in.N(), in.K())
+	s := rng.New(13)
+	for step := 0; step < 25; step++ {
+		// Pick an unplaced (i,k) uniformly.
+		i, k := s.IntN(in.N()), s.IntN(in.K())
+		if d.Placed(i, k) {
+			continue
+		}
+		gain := ls.GainOf(i, k)
+		realized := ls.Commit(i, k)
+		if math.Abs(float64(gain-realized)) > 1e-15 {
+			t.Fatalf("step %d: GainOf %v != Commit %v", step, gain, realized)
+		}
+		d.Place(i, k, in.Wl.Items[k].Size)
+		got, ref := float64(ls.Avg()), float64(in.AvgLatency(a, d))
+		if math.Abs(got-ref) > 1e-12*math.Max(1, ref) {
+			t.Fatalf("step %d: incremental Avg %v != scratch %v", step, got, ref)
+		}
+	}
+}
+
+func TestLatencyNeverWorseThanCloud(t *testing.T) {
+	// The Eq. 8 latency constraint: every request latency is ≤ its
+	// cloud latency, whatever the delivery profile.
+	in := genInstance(t, 10, 50, 4, 81)
+	a := allocateNearest(in)
+	d := NewDelivery(in.N(), in.K())
+	s := rng.New(14)
+	for c := 0; c < 15; c++ {
+		i, k := s.IntN(in.N()), s.IntN(in.K())
+		if !d.Placed(i, k) {
+			d.Place(i, k, in.Wl.Items[k].Size)
+		}
+	}
+	for j, items := range in.Wl.Requests {
+		for _, k := range items {
+			l := in.RequestLatency(a, d, j, k)
+			if l > in.CloudLatency(k)+1e-15 {
+				t.Fatalf("request (%d,%d) latency %v worse than cloud %v", j, k, l, in.CloudLatency(k))
+			}
+			if l < 0 {
+				t.Fatalf("negative latency %v", l)
+			}
+		}
+	}
+}
+
+func TestUnallocatedUsersFetchFromCloud(t *testing.T) {
+	in := tinyInstance(t)
+	a := NewAllocation(3) // nobody allocated
+	d := NewDelivery(2, 2)
+	d.Place(0, 0, 30)
+	if l := in.RequestLatency(a, d, 0, 0); math.Abs(float64(l)-0.05) > 1e-12 {
+		t.Errorf("unallocated user latency = %v, want cloud 50ms", l)
+	}
+	ls := NewLatencyState(in, a)
+	if g := ls.GainOf(0, 0); g != 0 {
+		t.Errorf("replica gain for unallocated users = %v, want 0", g)
+	}
+}
+
+func TestEvaluateBothObjectives(t *testing.T) {
+	in := tinyInstance(t)
+	a := Allocation{
+		{Server: 0, Channel: 0},
+		{Server: 1, Channel: 0},
+		{Server: 1, Channel: 1},
+	}
+	d := NewDelivery(2, 2)
+	d.Place(1, 1, 90)
+	r, l := in.Evaluate(Strategy{Alloc: a, Delivery: d})
+	if r <= 0 || r > 200 {
+		t.Errorf("rate = %v", r)
+	}
+	// u1:d1 and u2:d1 now local; u0:d0 and u1:d0 from cloud.
+	want := (0.05 + 0.05 + 0 + 0) / 4
+	if math.Abs(float64(l)-want) > 1e-12 {
+		t.Errorf("latency = %v, want %v", l, want)
+	}
+}
+
+func TestDeliveryModes(t *testing.T) {
+	in := tinyInstance(t)
+	a := Allocation{
+		{Server: 0, Channel: 0}, // u0 → v0
+		{Server: 1, Channel: 0}, // u1 → v1 (covered by both servers)
+		{Server: 1, Channel: 1}, // u2 → v1
+	}
+	d := NewDelivery(2, 2)
+	d.Place(0, 0, 30) // d0 on v0 only
+
+	// u1 requests d0, served at v1.
+	// Collaborative: one hop, 30MB/3000MBps = 10ms.
+	if l := in.RequestLatencyMode(a, d, 1, 0, Collaborative); math.Abs(float64(l)-0.01) > 1e-12 {
+		t.Errorf("collaborative = %v, want 10ms", l)
+	}
+	// CoverageLocal: v0 covers u1 and holds d0 → direct delivery, 0.
+	if l := in.RequestLatencyMode(a, d, 1, 0, CoverageLocal); l != 0 {
+		t.Errorf("coverage-local = %v, want 0", l)
+	}
+	// ServerLocal: v1 does not hold d0 → cloud (50ms).
+	if l := in.RequestLatencyMode(a, d, 1, 0, ServerLocal); math.Abs(float64(l)-0.05) > 1e-12 {
+		t.Errorf("server-local = %v, want cloud 50ms", l)
+	}
+	// u2 is NOT covered by v0, so coverage-local cannot use the replica.
+	if l := in.RequestLatencyMode(a, d, 2, 0, CoverageLocal); math.Abs(float64(l)-0.05) > 1e-12 {
+		t.Errorf("u2 coverage-local = %v, want cloud", l)
+	}
+	// Latency ordering across modes holds pointwise.
+	for j, items := range in.Wl.Requests {
+		for _, k := range items {
+			lc := in.RequestLatencyMode(a, d, j, k, Collaborative)
+			ll := in.RequestLatencyMode(a, d, j, k, ServerLocal)
+			if lc > ll+1e-15 {
+				t.Errorf("collaborative worse than server-local for (%d,%d)", j, k)
+			}
+		}
+	}
+	if Collaborative.String() != "collaborative" || CoverageLocal.String() != "coverage-local" ||
+		ServerLocal.String() != "server-local" || DeliveryMode(9).String() == "" {
+		t.Error("DeliveryMode String wrong")
+	}
+}
+
+func TestUnknownModePanics(t *testing.T) {
+	in := tinyInstance(t)
+	a := Allocation{{Server: 0, Channel: 0}, Unallocated, Unallocated}
+	d := NewDelivery(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown mode did not panic")
+		}
+	}()
+	in.RequestLatencyMode(a, d, 0, 0, DeliveryMode(77))
+}
+
+func TestAvgLatencyEmptyWorkload(t *testing.T) {
+	in := tinyInstance(t)
+	// Zero-request workload edge case via a synthetic empty state.
+	empty := &LatencyState{in: in}
+	if empty.Avg() != 0 {
+		t.Error("empty Avg != 0")
+	}
+	_ = units.Seconds(0)
+}

@@ -1,0 +1,202 @@
+package model
+
+import (
+	"idde/internal/radio"
+	"idde/internal/units"
+)
+
+// Ledger tracks, for a mutable allocation profile, which users occupy
+// each (server, channel) and the total transmit power there. It answers
+// the per-user quantities of §2.2 — SINR (Eq. 2), achievable rate
+// (Eqs. 3–4) and the game benefit (Eq. 12) — for both the current
+// decision and hypothetical moves, in time proportional to the occupancy
+// of the channels involved rather than to M.
+type Ledger struct {
+	in    *Instance
+	alloc Allocation
+	// users[i][x] lists the users on channel x of server i.
+	users [][][]int
+	// power[i][x] is Σ p_t over those users.
+	power [][]units.Watts
+}
+
+// NewLedger builds a ledger over a copy of the given profile.
+func NewLedger(in *Instance, alloc Allocation) *Ledger {
+	l := &Ledger{
+		in:    in,
+		alloc: alloc.Clone(),
+		users: make([][][]int, in.N()),
+		power: make([][]units.Watts, in.N()),
+	}
+	for i := 0; i < in.N(); i++ {
+		c := in.Top.Servers[i].Channels
+		l.users[i] = make([][]int, c)
+		l.power[i] = make([]units.Watts, c)
+	}
+	for j, d := range l.alloc {
+		if d.Allocated() {
+			l.users[d.Server][d.Channel] = append(l.users[d.Server][d.Channel], j)
+			l.power[d.Server][d.Channel] += in.Top.Users[j].Power
+		}
+	}
+	return l
+}
+
+// Alloc returns a snapshot of the current profile.
+func (l *Ledger) Alloc() Allocation { return l.alloc.Clone() }
+
+// Current reports user j's current decision.
+func (l *Ledger) Current(j int) Alloc { return l.alloc[j] }
+
+// Occupancy reports how many users share channel x of server i.
+func (l *Ledger) Occupancy(i, x int) int { return len(l.users[i][x]) }
+
+// Move reassigns user j to decision a (possibly Unallocated),
+// maintaining the channel registries.
+func (l *Ledger) Move(j int, a Alloc) {
+	cur := l.alloc[j]
+	if cur == a {
+		return
+	}
+	if cur.Allocated() {
+		l.remove(j, cur)
+	}
+	if a.Allocated() {
+		l.users[a.Server][a.Channel] = append(l.users[a.Server][a.Channel], j)
+		l.power[a.Server][a.Channel] += l.in.Top.Users[j].Power
+	}
+	l.alloc[j] = a
+}
+
+func (l *Ledger) remove(j int, a Alloc) {
+	us := l.users[a.Server][a.Channel]
+	for idx, u := range us {
+		if u == j {
+			us[idx] = us[len(us)-1]
+			l.users[a.Server][a.Channel] = us[:len(us)-1]
+			break
+		}
+	}
+	l.power[a.Server][a.Channel] -= l.in.Top.Users[j].Power
+	if l.power[a.Server][a.Channel] < 0 {
+		l.power[a.Server][a.Channel] = 0 // guard fp drift
+	}
+}
+
+// interCell computes F_{i,x,j} of Eq. (2): the interference measured at
+// server i on channel x from users allocated to channel x of the *other*
+// servers covering user j, under the hypothesis that j itself sits at
+// (i,x) (so j never self-interferes).
+func (l *Ledger) interCell(j int, a Alloc) units.Watts {
+	var f float64
+	for _, o := range l.in.Top.Coverage[j] {
+		if o == a.Server || a.Channel >= len(l.users[o]) {
+			continue
+		}
+		for _, t := range l.users[o][a.Channel] {
+			if t == j {
+				continue
+			}
+			f += l.in.Gain[a.Server][t] * float64(l.in.Top.Users[t].Power)
+		}
+	}
+	return units.Watts(f)
+}
+
+// intraOther computes Σ_{u_t∈U_{i,x}\u_j} p_t under the hypothesis that
+// j is (or would be) allocated at a.
+func (l *Ledger) intraOther(j int, a Alloc) units.Watts {
+	p := l.power[a.Server][a.Channel]
+	if l.alloc[j] == a {
+		p -= l.in.Top.Users[j].Power
+	}
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// SINR evaluates Eq. (2) for user j under the hypothetical decision a.
+// It reports 0 for Unallocated.
+func (l *Ledger) SINR(j int, a Alloc) float64 {
+	if !a.Allocated() {
+		return 0
+	}
+	g := l.in.Gain[a.Server][j]
+	return l.in.Radio.SINR(g, l.in.Top.Users[j].Power, l.intraOther(j, a), l.interCell(j, a))
+}
+
+// Rate evaluates Eqs. (3)–(4) — the Shannon rate capped at R_{j,max} —
+// for user j under the hypothetical decision a.
+func (l *Ledger) Rate(j int, a Alloc) units.Rate {
+	if !a.Allocated() {
+		return 0
+	}
+	b := l.in.Top.Servers[a.Server].Bandwidth
+	r := radio.ShannonRate(b, l.SINR(j, a))
+	return radio.CapRate(r, l.in.Top.Users[j].MaxRate)
+}
+
+// CurrentRate evaluates user j's rate under its current decision.
+func (l *Ledger) CurrentRate(j int) units.Rate { return l.Rate(j, l.alloc[j]) }
+
+// RateIgnoringInterCell evaluates Eqs. (3)–(4) with the inter-cell term
+// F of Eq. (2) dropped — the simplified single-cell interference view
+// some baselines (DUP-G) plan with. The *achieved* rate is still
+// evaluated with the full model; this is only their decision payoff.
+func (l *Ledger) RateIgnoringInterCell(j int, a Alloc) units.Rate {
+	if !a.Allocated() {
+		return 0
+	}
+	g := l.in.Gain[a.Server][j]
+	sinr := l.in.Radio.SINR(g, l.in.Top.Users[j].Power, l.intraOther(j, a), 0)
+	b := l.in.Top.Servers[a.Server].Bandwidth
+	return radio.CapRate(radio.ShannonRate(b, sinr), l.in.Top.Users[j].MaxRate)
+}
+
+// Benefit evaluates the game benefit function of Eq. (12) for user j
+// under the hypothetical decision a:
+//
+//	β = g·p_j / (g·Σ_{u_t∈U_{i,x}(α)} p_t + F)
+//
+// where the intra-channel sum includes u_j itself (the profile α has
+// α_j = a). Unallocated yields 0, so any feasible allocation beats
+// staying out — matching the paper's premise that all users can be
+// allocated in IDDE scenarios.
+func (l *Ledger) Benefit(j int, a Alloc) float64 {
+	if !a.Allocated() {
+		return 0
+	}
+	g := l.in.Gain[a.Server][j]
+	p := float64(l.in.Top.Users[j].Power)
+	intra := float64(l.intraOther(j, a)) + p // includes u_j per Eq. 12
+	den := g*intra + float64(l.interCell(j, a))
+	if den <= 0 {
+		return 0
+	}
+	return g * p / den
+}
+
+// AvgRate evaluates Eq. (5) over the current profile: the mean rate over
+// all M users (unallocated users contribute 0 per Eq. 4's indicator).
+func (l *Ledger) AvgRate() units.Rate {
+	if l.in.M() == 0 {
+		return 0
+	}
+	var sum float64
+	for j := range l.alloc {
+		sum += float64(l.CurrentRate(j))
+	}
+	return units.Rate(sum / float64(l.in.M()))
+}
+
+// AvgRate evaluates Eq. (5) for an allocation profile from scratch.
+func (in *Instance) AvgRate(alloc Allocation) units.Rate {
+	return NewLedger(in, alloc).AvgRate()
+}
+
+// UserRate evaluates Eqs. (2)–(4) for one user from scratch.
+func (in *Instance) UserRate(alloc Allocation, j int) units.Rate {
+	l := NewLedger(in, alloc)
+	return l.CurrentRate(j)
+}

@@ -1,0 +1,164 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"idde/internal/rng"
+)
+
+// randomValidAllocation draws a feasible allocation for the instance.
+func randomValidAllocation(in *Instance, s *rng.Stream) Allocation {
+	a := NewAllocation(in.M())
+	for j := 0; j < in.M(); j++ {
+		if s.Bool(0.15) {
+			continue // leave unallocated
+		}
+		vs := in.Top.Coverage[j]
+		if len(vs) == 0 {
+			continue
+		}
+		i := vs[s.IntN(len(vs))]
+		a[j] = Alloc{Server: i, Channel: s.IntN(in.Top.Servers[i].Channels)}
+	}
+	return a
+}
+
+// TestPropertyRatesBounded: for any valid allocation, every user's rate
+// lies in [0, R_{j,max}] and the average in [0, max cap].
+func TestPropertyRatesBounded(t *testing.T) {
+	in := genInstance(t, 10, 60, 3, 101)
+	f := func(seed uint64) bool {
+		a := randomValidAllocation(in, rng.New(seed))
+		if in.CheckAllocation(a) != nil {
+			return false
+		}
+		l := NewLedger(in, a)
+		for j := 0; j < in.M(); j++ {
+			r := l.CurrentRate(j)
+			if r < 0 || r > in.Top.Users[j].MaxRate {
+				return false
+			}
+			if !a[j].Allocated() && r != 0 {
+				return false
+			}
+		}
+		avg := float64(l.AvgRate())
+		return avg >= 0 && !math.IsNaN(avg) && !math.IsInf(avg, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLatencyMonotoneInDelivery: adding replicas never worsens
+// any request's latency, in any delivery mode.
+func TestPropertyLatencyMonotoneInDelivery(t *testing.T) {
+	in := genInstance(t, 10, 50, 4, 102)
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		a := randomValidAllocation(in, s)
+		d := NewDelivery(in.N(), in.K())
+		prev := map[DeliveryMode]float64{}
+		for _, mode := range []DeliveryMode{Collaborative, CoverageLocal, ServerLocal} {
+			prev[mode] = float64(in.AvgLatencyMode(a, d, mode))
+		}
+		for step := 0; step < 12; step++ {
+			i, k := s.IntN(in.N()), s.IntN(in.K())
+			if d.Placed(i, k) {
+				continue
+			}
+			d.Place(i, k, in.Wl.Items[k].Size)
+			for _, mode := range []DeliveryMode{Collaborative, CoverageLocal, ServerLocal} {
+				cur := float64(in.AvgLatencyMode(a, d, mode))
+				if cur > prev[mode]+1e-12 {
+					return false
+				}
+				prev[mode] = cur
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyModeOrdering: pointwise, collaborative ≤ coverage-local ≤
+// server-local latency for the same profiles (more delivery freedom
+// can only help)... except coverage-local serves covering holders at
+// zero cost, which collaborative prices as a wired hop — so only the
+// server-local relations are universally ordered.
+func TestPropertyModeOrdering(t *testing.T) {
+	in := genInstance(t, 10, 50, 4, 103)
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		a := randomValidAllocation(in, s)
+		d := NewDelivery(in.N(), in.K())
+		for step := 0; step < 10; step++ {
+			i, k := s.IntN(in.N()), s.IntN(in.K())
+			if !d.Placed(i, k) {
+				d.Place(i, k, in.Wl.Items[k].Size)
+			}
+		}
+		for j, items := range in.Wl.Requests {
+			for _, k := range items {
+				collab := in.RequestLatencyMode(a, d, j, k, Collaborative)
+				covLoc := in.RequestLatencyMode(a, d, j, k, CoverageLocal)
+				srvLoc := in.RequestLatencyMode(a, d, j, k, ServerLocal)
+				// Server-local is the most restrictive source set.
+				if collab > srvLoc+1e-15 {
+					return false
+				}
+				if covLoc > srvLoc+1e-15 && srvLoc != 0 {
+					// srvLoc==0 means own server holds it; coverage-local
+					// then also serves at 0 (own server covers the user).
+					return false
+				}
+				// Everything is capped by the cloud.
+				cloud := in.CloudLatency(k)
+				if collab > cloud+1e-15 || covLoc > cloud+1e-15 || srvLoc > cloud+1e-15 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLedgerMoveReversible: moving a user away and back
+// restores every rate exactly.
+func TestPropertyLedgerMoveReversible(t *testing.T) {
+	in := genInstance(t, 10, 60, 3, 104)
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		a := randomValidAllocation(in, s)
+		l := NewLedger(in, a)
+		before := make([]float64, in.M())
+		for j := range before {
+			before[j] = float64(l.CurrentRate(j))
+		}
+		j := s.IntN(in.M())
+		orig := l.Current(j)
+		vs := in.Top.Coverage[j]
+		if len(vs) == 0 {
+			return true
+		}
+		i := vs[s.IntN(len(vs))]
+		l.Move(j, Alloc{Server: i, Channel: s.IntN(in.Top.Servers[i].Channels)})
+		l.Move(j, orig)
+		for t2 := 0; t2 < in.M(); t2++ {
+			if math.Abs(float64(l.CurrentRate(t2))-before[t2]) > 1e-9*math.Max(1, before[t2]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

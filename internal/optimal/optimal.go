@@ -1,0 +1,156 @@
+// Package optimal provides exhaustive-search solvers for tiny IDDE
+// instances. They are not part of any practical strategy — the IDDE
+// problem is NP-hard (Theorem 1) — but they pin down the true optima
+// that the paper's theory compares against, enabling empirical checks
+// of the Price-of-Anarchy bound on the allocation game (Theorem 5) and
+// the greedy delivery approximation bounds (Theorems 6–7).
+package optimal
+
+import (
+	"fmt"
+	"math"
+
+	"idde/internal/model"
+	"idde/internal/units"
+)
+
+// MaxAllocationStates bounds the allocation search space; BestAllocation
+// refuses instances beyond it rather than running forever.
+const MaxAllocationStates = 5_000_000
+
+// BestAllocation exhaustively maximizes the average data rate (Eq. 5)
+// over all user allocation profiles, considering every channel of every
+// covering server per user (plus "unallocated", which is never optimal
+// but keeps the space honest).
+func BestAllocation(in *model.Instance) (model.Allocation, units.Rate, error) {
+	// Decision sets δ_j.
+	decisions := make([][]model.Alloc, in.M())
+	states := 1.0
+	for j := 0; j < in.M(); j++ {
+		ds := []model.Alloc{model.Unallocated}
+		for _, i := range in.Top.Coverage[j] {
+			for x := 0; x < in.Top.Servers[i].Channels; x++ {
+				ds = append(ds, model.Alloc{Server: i, Channel: x})
+			}
+		}
+		decisions[j] = ds
+		states *= float64(len(ds))
+		if states > MaxAllocationStates {
+			return nil, 0, fmt.Errorf("optimal: allocation space ~%g exceeds limit %d", states, MaxAllocationStates)
+		}
+	}
+
+	cur := model.NewAllocation(in.M())
+	var best model.Allocation
+	bestRate := units.Rate(-1)
+	var rec func(j int)
+	rec = func(j int) {
+		if j == in.M() {
+			if r := in.AvgRate(cur); r > bestRate {
+				bestRate = r
+				best = cur.Clone()
+			}
+			return
+		}
+		for _, d := range decisions[j] {
+			cur[j] = d
+			rec(j + 1)
+		}
+		cur[j] = model.Unallocated
+	}
+	rec(0)
+	return best, bestRate, nil
+}
+
+// MaxDeliveryDecisions bounds the delivery search (2^decisions leaves).
+const MaxDeliveryDecisions = 22
+
+// BestDelivery exhaustively minimizes the average delivery latency
+// (Eq. 9) over all feasible delivery profiles for a fixed allocation.
+func BestDelivery(in *model.Instance, alloc model.Allocation) (*model.Delivery, units.Seconds, error) {
+	type cand struct{ i, k int }
+	var cands []cand
+	for i := 0; i < in.N(); i++ {
+		for k := 0; k < in.K(); k++ {
+			// Decisions that can never fit are pruned up front.
+			if in.Wl.Items[k].Size <= in.Wl.Capacity[i] {
+				cands = append(cands, cand{i: i, k: k})
+			}
+		}
+	}
+	if len(cands) > MaxDeliveryDecisions {
+		return nil, 0, fmt.Errorf("optimal: %d delivery decisions exceed limit %d", len(cands), MaxDeliveryDecisions)
+	}
+
+	used := make([]units.MegaBytes, in.N())
+	cur := model.NewDelivery(in.N(), in.K())
+	best := cur.Clone()
+	bestLat := in.AvgLatency(alloc, cur)
+
+	var rec func(idx int)
+	rec = func(idx int) {
+		if idx == len(cands) {
+			if l := in.AvgLatency(alloc, cur); l < bestLat {
+				bestLat = l
+				best = cur.Clone()
+			}
+			return
+		}
+		c := cands[idx]
+		size := in.Wl.Items[c.k].Size
+		if used[c.i]+size <= in.Wl.Capacity[c.i] {
+			used[c.i] += size
+			cur.Place(c.i, c.k, size)
+			rec(idx + 1)
+			used[c.i] -= size
+			cur = removeReplica(in, cur, c.i, c.k)
+		}
+		rec(idx + 1)
+	}
+	rec(0)
+	return best, bestLat, nil
+}
+
+// removeReplica rebuilds a delivery without one replica (Delivery is
+// add-only by design; the exhaustive search is the only consumer that
+// needs undo, and instance sizes here are tiny).
+func removeReplica(in *model.Instance, d *model.Delivery, ri, rk int) *model.Delivery {
+	nd := model.NewDelivery(in.N(), in.K())
+	for i := 0; i < in.N(); i++ {
+		for k := 0; k < in.K(); k++ {
+			if d.Placed(i, k) && !(i == ri && k == rk) {
+				nd.Place(i, k, in.Wl.Items[k].Size)
+			}
+		}
+	}
+	return nd
+}
+
+// PriceOfAnarchy reports ρ = R_avg(equilibrium) / R_avg(optimal), the
+// Theorem 5 quantity, for a given equilibrium allocation.
+func PriceOfAnarchy(in *model.Instance, equilibrium model.Allocation) (rho float64, optRate units.Rate, err error) {
+	_, opt, err := BestAllocation(in)
+	if err != nil {
+		return 0, 0, err
+	}
+	if opt <= 0 {
+		return 1, opt, nil
+	}
+	eq := in.AvgRate(equilibrium)
+	return float64(eq) / float64(opt), opt, nil
+}
+
+// Theorem7Bound evaluates the right-hand side of Eq. (31): the
+// guaranteed ceiling on greedy's total latency given the optimal
+// delivery latency, the all-cloud latency φ, and the capacity
+// fragmentation term N·s_max/ΣA_i.
+func Theorem7Bound(in *model.Instance, optTotal, phi units.Seconds) units.Seconds {
+	frag := float64(in.N()) * float64(in.Wl.MaxItemSize()) / float64(in.Wl.TotalCapacity())
+	if frag > 1 {
+		frag = 1
+	}
+	e := math.E
+	lead := (e+1)/(2*e) + (e-1)/(2*e)*frag
+	tail := (1 - frag) * (e - 1) / (2 * e)
+	return units.Seconds(lead*float64(phi) + tail*float64(optTotal))
+}

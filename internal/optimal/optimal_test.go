@@ -1,0 +1,150 @@
+package optimal
+
+import (
+	"math"
+	"testing"
+
+	"idde/internal/core"
+	"idde/internal/model"
+	"idde/internal/radio"
+	"idde/internal/rng"
+	"idde/internal/topology"
+	"idde/internal/units"
+	"idde/internal/workload"
+)
+
+// tinyInstance builds an exhaustively-searchable instance: few users,
+// two channels per server, a small catalog.
+func tinyInstance(t *testing.T, n, m, k int, seed uint64) *model.Instance {
+	t.Helper()
+	s := rng.New(seed)
+	tc := topology.DefaultGen(n, m, 1.0)
+	tc.Channels = 2
+	top, err := topology.Generate(tc, s.Split("top"))
+	if err != nil {
+		t.Fatalf("topology: %v", err)
+	}
+	wc := workload.DefaultGen(k)
+	wc.Capacity = [2]units.MegaBytes{60, 120}
+	wl, err := workload.Generate(wc, n, m, s.Split("wl"))
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	in, err := model.New(top, wl, radio.Default())
+	if err != nil {
+		t.Fatalf("model: %v", err)
+	}
+	return in
+}
+
+func TestBestAllocationDominatesEquilibrium(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		in := tinyInstance(t, 3, 5, 2, seed)
+		res := core.Solve(in, core.DefaultOptions())
+		_, opt, err := BestAllocation(in)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if float64(res.AvgRate) > float64(opt)+1e-9 {
+			t.Errorf("seed %d: equilibrium rate %v exceeds exhaustive optimum %v", seed, res.AvgRate, opt)
+		}
+	}
+}
+
+func TestPriceOfAnarchyTheorem5(t *testing.T) {
+	// Theorem 5: ρ ∈ [R_min/R_max, 1]. The lower bound is extremely
+	// loose; the empirically interesting content is ρ ≤ 1 with ρ
+	// typically close to 1 for IDDE-G equilibria.
+	worst := 1.0
+	for seed := uint64(1); seed <= 4; seed++ {
+		in := tinyInstance(t, 3, 5, 2, seed)
+		res := core.Solve(in, core.DefaultOptions())
+		rho, opt, err := PriceOfAnarchy(in, res.Strategy.Alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rho > 1+1e-9 {
+			t.Errorf("seed %d: ρ = %v > 1 (opt %v)", seed, rho, opt)
+		}
+		if rho <= 0 {
+			t.Errorf("seed %d: ρ = %v", seed, rho)
+		}
+		if rho < worst {
+			worst = rho
+		}
+	}
+	// IDDE-G equilibria should capture most of the optimal rate.
+	if worst < 0.5 {
+		t.Errorf("worst observed PoA %v is far from the optimum", worst)
+	}
+}
+
+func TestBestAllocationRefusesHugeSpaces(t *testing.T) {
+	in := tinyInstance(t, 10, 40, 3, 9)
+	if _, _, err := BestAllocation(in); err == nil {
+		t.Error("huge allocation space accepted")
+	}
+}
+
+func TestGreedyDeliveryWithinTheorem6Bound(t *testing.T) {
+	bound := (math.E - 1) / (2 * math.E)
+	for seed := uint64(11); seed <= 15; seed++ {
+		in := tinyInstance(t, 3, 6, 3, seed)
+		res := core.Solve(in, core.DefaultOptions())
+		alloc := res.Strategy.Alloc
+
+		_, optLat, err := BestDelivery(in, alloc)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		phi := in.AvgLatency(alloc, model.NewDelivery(in.N(), in.K()))
+		greedyLat := in.AvgLatency(alloc, res.Strategy.Delivery)
+
+		if optLat > greedyLat+1e-12 {
+			t.Fatalf("seed %d: exhaustive optimum %v worse than greedy %v", seed, optLat, greedyLat)
+		}
+		// Theorem 6 in reduction form: ΔL_greedy ≥ (e−1)/2e · ΔL_opt.
+		dGreedy := float64(phi - greedyLat)
+		dOpt := float64(phi - optLat)
+		if dOpt > 0 && dGreedy < bound*dOpt-1e-12 {
+			t.Errorf("seed %d: greedy reduction %v below (e−1)/2e of optimal %v", seed, dGreedy, dOpt)
+		}
+		// Theorem 7 in latency form (per-request averages scale both
+		// sides of Eq. 31 identically).
+		ceiling := Theorem7Bound(in, optLat, phi)
+		if greedyLat > ceiling+1e-12 {
+			t.Errorf("seed %d: greedy latency %v exceeds Theorem 7 ceiling %v", seed, greedyLat, ceiling)
+		}
+	}
+}
+
+func TestBestDeliveryRespectsCapacity(t *testing.T) {
+	in := tinyInstance(t, 3, 6, 3, 21)
+	alloc := core.Solve(in, core.DefaultOptions()).Strategy.Alloc
+	d, _, err := BestDelivery(in, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.CheckDelivery(d); err != nil {
+		t.Errorf("optimal delivery violates constraints: %v", err)
+	}
+}
+
+func TestBestDeliveryRefusesHugeSpaces(t *testing.T) {
+	in := tinyInstance(t, 6, 10, 6, 22)
+	alloc := model.NewAllocation(in.M())
+	if _, _, err := BestDelivery(in, alloc); err == nil {
+		t.Error("huge delivery space accepted")
+	}
+}
+
+func TestTheorem7BoundMonotonicity(t *testing.T) {
+	in := tinyInstance(t, 3, 6, 3, 23)
+	// The ceiling grows with φ and with the optimal latency.
+	b1 := Theorem7Bound(in, 0.01, 0.1)
+	b2 := Theorem7Bound(in, 0.01, 0.2)
+	b3 := Theorem7Bound(in, 0.02, 0.2)
+	if b2 <= b1 || b3 < b2 {
+		t.Errorf("bound not monotone: %v %v %v", b1, b2, b3)
+	}
+}

@@ -1,0 +1,190 @@
+// Package placement implements budgeted greedy maximization for data
+// delivery profiles: the naive argmax loop of Algorithm 1 Phase 2
+// (Eq. 17), an accelerated lazy-greedy (CELF-style) variant that
+// exploits the submodularity of latency reduction, and an exhaustive
+// optimal search for tiny instances used to verify the Theorem 6/7
+// approximation bounds empirically.
+//
+// The oracle abstraction decouples the greedy from the IDDE latency
+// model, so the CDP baseline and the core algorithm share one engine.
+package placement
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Candidate identifies a delivery decision σ_{i,k}: put item Item on
+// server Server.
+type Candidate struct {
+	Server, Item int
+}
+
+// Oracle exposes the marginal structure of a placement problem.
+// Gains must be monotone non-increasing as decisions commit
+// (submodularity) for LazyGreedy to match Greedy.
+type Oracle interface {
+	// Gain reports the total objective reduction of committing c now.
+	Gain(c Candidate) float64
+	// Cost reports the storage consumed by c (s_k).
+	Cost(c Candidate) float64
+	// Feasible reports whether c currently fits (Eq. 6). Feasibility
+	// must be monotone: once infeasible, always infeasible.
+	Feasible(c Candidate) bool
+	// Commit applies c and returns the realized gain.
+	Commit(c Candidate) float64
+}
+
+// Result summarizes a greedy run.
+type Result struct {
+	Chosen []Candidate
+	// TotalGain is the realized objective reduction ΔL(σ).
+	TotalGain float64
+	// Evaluations counts oracle Gain calls (the CELF speedup metric).
+	Evaluations int
+}
+
+// Greedy runs the literal Algorithm 1 Phase 2 loop: every round,
+// re-evaluate every remaining feasible candidate and commit the one
+// with the highest gain-per-cost ratio; stop when nothing feasible has
+// positive gain.
+func Greedy(cands []Candidate, o Oracle) Result {
+	var res Result
+	remaining := append([]Candidate(nil), cands...)
+	for {
+		bestIdx := -1
+		bestRatio := 0.0
+		for idx, c := range remaining {
+			if c.Server < 0 || !o.Feasible(c) {
+				continue
+			}
+			g := o.Gain(c)
+			res.Evaluations++
+			if g <= 0 {
+				continue
+			}
+			cost := o.Cost(c)
+			ratio := g / math.Max(cost, 1e-12)
+			if ratio > bestRatio {
+				bestRatio = ratio
+				bestIdx = idx
+			}
+		}
+		if bestIdx < 0 {
+			return res
+		}
+		c := remaining[bestIdx]
+		res.TotalGain += o.Commit(c)
+		res.Chosen = append(res.Chosen, c)
+		remaining[bestIdx].Server = -1 // tombstone
+	}
+}
+
+// LazyGreedy runs the same policy with a lazy priority queue: stale
+// upper bounds are refreshed only when a candidate reaches the top.
+// For submodular gains the output matches Greedy while evaluating far
+// fewer candidates.
+func LazyGreedy(cands []Candidate, o Oracle) Result {
+	var res Result
+	pq := make(lazyHeap, 0, len(cands))
+	for _, c := range cands {
+		if !o.Feasible(c) {
+			continue
+		}
+		g := o.Gain(c)
+		res.Evaluations++
+		if g <= 0 {
+			continue
+		}
+		pq = append(pq, lazyEntry{c: c, ratio: g / math.Max(o.Cost(c), 1e-12)})
+	}
+	heap.Init(&pq)
+	round := 0
+	for pq.Len() > 0 {
+		top := pq[0]
+		if !o.Feasible(top.c) {
+			heap.Pop(&pq) // capacity shrank; gone forever
+			continue
+		}
+		if top.round != round {
+			// Stale bound: refresh and reposition.
+			g := o.Gain(top.c)
+			res.Evaluations++
+			if g <= 0 {
+				heap.Pop(&pq)
+				continue
+			}
+			pq[0].ratio = g / math.Max(o.Cost(top.c), 1e-12)
+			pq[0].round = round
+			heap.Fix(&pq, 0)
+			continue
+		}
+		heap.Pop(&pq)
+		res.TotalGain += o.Commit(top.c)
+		res.Chosen = append(res.Chosen, top.c)
+		round++
+	}
+	return res
+}
+
+type lazyEntry struct {
+	c     Candidate
+	ratio float64
+	round int
+}
+
+type lazyHeap []lazyEntry
+
+func (h lazyHeap) Len() int            { return len(h) }
+func (h lazyHeap) Less(i, j int) bool  { return h[i].ratio > h[j].ratio }
+func (h lazyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *lazyHeap) Push(x interface{}) { *h = append(*h, x.(lazyEntry)) }
+func (h *lazyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// SearchOracle extends Oracle with the rollback needed for exhaustive
+// search. Only tiny test instances implement it.
+type SearchOracle interface {
+	Oracle
+	// Uncommit reverses the most recent Commit.
+	Uncommit(c Candidate)
+}
+
+// ExhaustiveBest finds the subset of candidates with the maximum total
+// gain subject to feasibility by depth-first enumeration. Exponential in
+// len(cands); it exists to measure greedy's empirical approximation
+// ratio on small instances (Theorems 6–7).
+func ExhaustiveBest(cands []Candidate, o SearchOracle) (best []Candidate, bestGain float64) {
+	var cur []Candidate
+	var curGain float64
+	var rec func(idx int)
+	rec = func(idx int) {
+		if curGain > bestGain {
+			bestGain = curGain
+			best = append([]Candidate(nil), cur...)
+		}
+		if idx >= len(cands) {
+			return
+		}
+		// Branch 1: take cands[idx] if feasible.
+		c := cands[idx]
+		if o.Feasible(c) {
+			g := o.Commit(c)
+			cur = append(cur, c)
+			curGain += g
+			rec(idx + 1)
+			curGain -= g
+			cur = cur[:len(cur)-1]
+			o.Uncommit(c)
+		}
+		// Branch 2: skip.
+		rec(idx + 1)
+	}
+	rec(0)
+	return best, bestGain
+}

@@ -1,0 +1,236 @@
+package placement
+
+import (
+	"math"
+	"testing"
+
+	"idde/internal/rng"
+)
+
+// coverOracle is a miniature facility-location-style problem mirroring
+// the IDDE delivery structure: req[r] has a current latency cur[r] and
+// requests item item[r]; committing candidate (i,k) moves every request
+// of item k down to via[i][r] if that is lower. Budgets are per server.
+// It recomputes state from scratch on Commit/Uncommit, making it a
+// valid SearchOracle for differential tests.
+type coverOracle struct {
+	items  []int       // item requested by each request
+	cloud  []float64   // initial latency per request
+	via    [][]float64 // via[server][request]
+	cost   []float64   // per item
+	budget []float64   // per server
+	placed map[Candidate]bool
+}
+
+func (o *coverOracle) cur(r int) float64 {
+	best := o.cloud[r]
+	for c := range o.placed {
+		if c.Item == o.items[r] && o.via[c.Server][r] < best {
+			best = o.via[c.Server][r]
+		}
+	}
+	return best
+}
+
+func (o *coverOracle) used(i int) float64 {
+	u := 0.0
+	for c := range o.placed {
+		if c.Server == i {
+			u += o.cost[c.Item]
+		}
+	}
+	return u
+}
+
+func (o *coverOracle) Gain(c Candidate) float64 {
+	if o.placed[c] {
+		return 0
+	}
+	g := 0.0
+	for r := range o.items {
+		if o.items[r] != c.Item {
+			continue
+		}
+		if v := o.via[c.Server][r]; v < o.cur(r) {
+			g += o.cur(r) - v
+		}
+	}
+	return g
+}
+
+func (o *coverOracle) Cost(c Candidate) float64 { return o.cost[c.Item] }
+
+func (o *coverOracle) Feasible(c Candidate) bool {
+	return !o.placed[c] && o.used(c.Server)+o.cost[c.Item] <= o.budget[c.Server]+1e-12
+}
+
+func (o *coverOracle) Commit(c Candidate) float64 {
+	g := o.Gain(c)
+	o.placed[c] = true
+	return g
+}
+
+func (o *coverOracle) Uncommit(c Candidate) { delete(o.placed, c) }
+
+func randomOracle(seed uint64, servers, items, reqs int) (*coverOracle, []Candidate) {
+	s := rng.New(seed)
+	o := &coverOracle{
+		items:  make([]int, reqs),
+		cloud:  make([]float64, reqs),
+		via:    make([][]float64, servers),
+		cost:   make([]float64, items),
+		budget: make([]float64, servers),
+		placed: map[Candidate]bool{},
+	}
+	for r := 0; r < reqs; r++ {
+		o.items[r] = s.IntN(items)
+		o.cloud[r] = s.Uniform(50, 150)
+	}
+	for i := range o.via {
+		o.via[i] = make([]float64, reqs)
+		for r := range o.via[i] {
+			o.via[i][r] = s.Uniform(0, 60)
+		}
+	}
+	for k := range o.cost {
+		o.cost[k] = []float64{30, 60, 90}[s.IntN(3)]
+	}
+	for i := range o.budget {
+		o.budget[i] = s.Uniform(30, 200)
+	}
+	var cands []Candidate
+	for i := 0; i < servers; i++ {
+		for k := 0; k < items; k++ {
+			cands = append(cands, Candidate{Server: i, Item: k})
+		}
+	}
+	return o, cands
+}
+
+func clone(o *coverOracle) *coverOracle {
+	c := *o
+	c.placed = map[Candidate]bool{}
+	return &c
+}
+
+func TestGreedyRespectsBudgets(t *testing.T) {
+	o, cands := randomOracle(1, 4, 3, 40)
+	res := Greedy(cands, o)
+	for i := range o.budget {
+		if o.used(i) > o.budget[i]+1e-9 {
+			t.Errorf("server %d over budget: %v > %v", i, o.used(i), o.budget[i])
+		}
+	}
+	if res.TotalGain <= 0 {
+		t.Error("greedy achieved no gain on a gainful instance")
+	}
+	seen := map[Candidate]bool{}
+	for _, c := range res.Chosen {
+		if seen[c] {
+			t.Errorf("candidate %v chosen twice", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestGreedyPicksRatioNotRawGain(t *testing.T) {
+	// Two candidates, budget fits only one: a 90-cost item saving 100,
+	// versus a 30-cost item saving 60. Ratio rule must take the latter
+	// (2.0 > 1.11).
+	o := &coverOracle{
+		items:  []int{0, 1},
+		cloud:  []float64{100, 60},
+		via:    [][]float64{{0, 0}},
+		cost:   []float64{90, 30},
+		budget: []float64{90},
+		placed: map[Candidate]bool{},
+	}
+	cands := []Candidate{{Server: 0, Item: 0}, {Server: 0, Item: 1}}
+	res := Greedy(cands, o)
+	if len(res.Chosen) == 0 || res.Chosen[0] != (Candidate{Server: 0, Item: 1}) {
+		t.Fatalf("first pick = %v, want the high-ratio small item", res.Chosen)
+	}
+}
+
+func TestLazyGreedyMatchesGreedy(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		oa, cands := randomOracle(seed, 5, 4, 60)
+		ob := clone(oa)
+		ra := Greedy(cands, oa)
+		rb := LazyGreedy(cands, ob)
+		if math.Abs(ra.TotalGain-rb.TotalGain) > 1e-9*math.Max(1, ra.TotalGain) {
+			t.Fatalf("seed %d: gains differ: %v vs %v", seed, ra.TotalGain, rb.TotalGain)
+		}
+		if len(ra.Chosen) != len(rb.Chosen) {
+			t.Fatalf("seed %d: chose %d vs %d", seed, len(ra.Chosen), len(rb.Chosen))
+		}
+		// CELF must not evaluate more than the naive loop.
+		if rb.Evaluations > ra.Evaluations {
+			t.Errorf("seed %d: lazy did %d evals, naive %d", seed, rb.Evaluations, ra.Evaluations)
+		}
+	}
+}
+
+func TestLazyGreedySavesEvaluations(t *testing.T) {
+	oa, cands := randomOracle(3, 8, 6, 150)
+	ob := clone(oa)
+	ra := Greedy(cands, oa)
+	rb := LazyGreedy(cands, ob)
+	if ra.Evaluations <= rb.Evaluations {
+		t.Skipf("instance too easy to demonstrate CELF savings: %d vs %d", ra.Evaluations, rb.Evaluations)
+	}
+}
+
+func TestGreedyStopsOnZeroGain(t *testing.T) {
+	// Edge replicas that never beat the cloud yield zero gain and must
+	// not be placed.
+	o := &coverOracle{
+		items:  []int{0},
+		cloud:  []float64{10},
+		via:    [][]float64{{50}}, // worse than cloud
+		cost:   []float64{30},
+		budget: []float64{300},
+		placed: map[Candidate]bool{},
+	}
+	res := Greedy([]Candidate{{Server: 0, Item: 0}}, o)
+	if len(res.Chosen) != 0 || res.TotalGain != 0 {
+		t.Errorf("placed a useless replica: %+v", res)
+	}
+}
+
+func TestGreedyWithinApproxBoundOfExhaustive(t *testing.T) {
+	// Theorem 6: greedy's reduction ≥ (e−1)/2e ≈ 0.316 of optimal.
+	// Empirically greedy is far better; assert the theorem's bound.
+	bound := (math.E - 1) / (2 * math.E)
+	for seed := uint64(20); seed < 30; seed++ {
+		og, cands := randomOracle(seed, 2, 3, 8)
+		oe := clone(og)
+		rg := Greedy(cands, og)
+		_, opt := ExhaustiveBest(cands, oe)
+		if opt == 0 {
+			continue
+		}
+		if rg.TotalGain < bound*opt-1e-9 {
+			t.Errorf("seed %d: greedy gain %v below bound %v of optimal %v", seed, rg.TotalGain, bound, opt)
+		}
+		if rg.TotalGain > opt+1e-9 {
+			t.Errorf("seed %d: greedy gain %v exceeds optimal %v", seed, rg.TotalGain, opt)
+		}
+	}
+}
+
+func TestExhaustiveBestHandlesEmpty(t *testing.T) {
+	o, _ := randomOracle(5, 2, 2, 5)
+	best, gain := ExhaustiveBest(nil, o)
+	if len(best) != 0 || gain != 0 {
+		t.Errorf("empty search returned %v/%v", best, gain)
+	}
+}
+
+func TestExhaustiveRestoresState(t *testing.T) {
+	o, cands := randomOracle(6, 2, 2, 10)
+	ExhaustiveBest(cands, o)
+	if len(o.placed) != 0 {
+		t.Errorf("search left %d placements behind", len(o.placed))
+	}
+}

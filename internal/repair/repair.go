@@ -1,0 +1,238 @@
+// Package repair implements failure injection and strategy repair for
+// edge storage systems: when an edge server dies, its users lose their
+// wireless attachment, its replicas vanish, and the wired paths through
+// it disappear. Repair patches an existing strategy instead of
+// re-formulating from scratch — displaced users best-respond into the
+// surviving spectrum (with a bounded re-equilibration wave, as in the
+// online extension), and lost replicas are re-placed by the same
+// Eq. 17 greedy rule within the surviving reservations.
+//
+// The paper's system model treats the edge storage system as the
+// answer to the cloud's "single-point failures" (§1); this package is
+// what makes that robustness claim operational.
+package repair
+
+import (
+	"fmt"
+
+	"idde/internal/graph"
+	"idde/internal/model"
+	"idde/internal/placement"
+	"idde/internal/topology"
+	"idde/internal/units"
+)
+
+// Report accounts for a failure and its repair.
+type Report struct {
+	FailedServer int
+	// DisplacedUsers were attached to the failed server.
+	DisplacedUsers int
+	// StrandedUsers ended up outside all surviving coverage (they fall
+	// back to the cloud entirely).
+	StrandedUsers int
+	// LostReplicas were stored on the failed server.
+	LostReplicas int
+	// ReplacedReplicas were re-placed during repair (not necessarily
+	// the same items on the same servers).
+	ReplacedReplicas int
+	// Moves counts allocation changes (displaced users + ripples).
+	Moves int
+	// Before/After metrics under the healthy and repaired systems.
+	RateBefore, RateAfter       units.Rate
+	LatencyBefore, LatencyAfter units.Seconds
+}
+
+// FailServer builds the degraded instance: server f covers nobody,
+// stores nothing and forwards nothing. The wired network may partition;
+// unreachable pairs fall back to the cloud per Eq. 8.
+func FailServer(in *model.Instance, f int) (*model.Instance, error) {
+	if f < 0 || f >= in.N() {
+		return nil, fmt.Errorf("repair: unknown server %d", f)
+	}
+	if in.Top.Servers[f].Failed {
+		return nil, fmt.Errorf("repair: server %d already failed", f)
+	}
+	top := &topology.Topology{
+		Region:         in.Top.Region,
+		Servers:        append([]topology.Server(nil), in.Top.Servers...),
+		Users:          append([]topology.User(nil), in.Top.Users...),
+		CloudRate:      in.Top.CloudRate,
+		AllowPartition: true,
+	}
+	top.Servers[f].Failed = true
+	top.Net = graph.New(in.N())
+	for _, e := range in.Top.Net.Edges() {
+		if e.U == f || e.V == f {
+			continue
+		}
+		top.Net.AddEdge(e.U, e.V, e.Cost)
+	}
+	if err := top.Finalize(); err != nil {
+		return nil, err
+	}
+	// The failed server's reservation is gone.
+	wl := *in.Wl
+	wl.Capacity = append([]units.MegaBytes(nil), in.Wl.Capacity...)
+	wl.Capacity[f] = 0
+	return model.New(top, &wl, in.Radio)
+}
+
+// Options bounds the repair work.
+type Options struct {
+	// Waves of neighbourhood re-equilibration after displacement
+	// (default 2).
+	Waves int
+}
+
+// Repair patches a strategy formulated on the healthy instance so it is
+// valid and effective on the degraded one. It returns the repaired
+// strategy and the accounting report.
+func Repair(healthy, degraded *model.Instance, st model.Strategy, f int, opt Options) (model.Strategy, *Report, error) {
+	if opt.Waves <= 0 {
+		opt.Waves = 2
+	}
+	if degraded.N() != healthy.N() || degraded.M() != healthy.M() || degraded.K() != healthy.K() {
+		return model.Strategy{}, nil, fmt.Errorf("repair: instance dimensions differ")
+	}
+	rep := &Report{FailedServer: f}
+	rep.RateBefore, rep.LatencyBefore = healthy.Evaluate(st)
+
+	// Phase A: displace and re-equilibrate users.
+	alloc := st.Alloc.Clone()
+	var displaced []int
+	for j, a := range alloc {
+		if a.Allocated() && a.Server == f {
+			displaced = append(displaced, j)
+			alloc[j] = model.Unallocated
+		}
+	}
+	rep.DisplacedUsers = len(displaced)
+	ledger := model.NewLedger(degraded, alloc)
+	for _, j := range displaced {
+		if bestRespond(degraded, ledger, j) {
+			rep.Moves++
+		} else if len(degraded.Top.Coverage[j]) == 0 {
+			rep.StrandedUsers++
+		}
+	}
+	// Ripple waves: neighbours of the displaced may improve.
+	for wave := 0; wave < opt.Waves; wave++ {
+		moved := false
+		for _, j := range neighbourhood(degraded, displaced) {
+			if bestRespond(degraded, ledger, j) {
+				rep.Moves++
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	newAlloc := ledger.Alloc()
+
+	// Phase B: rebuild the delivery profile — survivors keep their
+	// slots, the greedy re-places into what storage remains.
+	delivery := model.NewDelivery(degraded.N(), degraded.K())
+	ls := model.NewLatencyState(degraded, newAlloc)
+	for i := 0; i < degraded.N(); i++ {
+		for k := 0; k < degraded.K(); k++ {
+			if !st.Delivery.Placed(i, k) {
+				continue
+			}
+			if i == f {
+				rep.LostReplicas++
+				continue
+			}
+			delivery.Place(i, k, degraded.Wl.Items[k].Size)
+			ls.Commit(i, k)
+		}
+	}
+	oracle := &repairOracle{in: degraded, ls: ls, d: delivery}
+	var cands []placement.Candidate
+	for i := 0; i < degraded.N(); i++ {
+		if i == f {
+			continue
+		}
+		for k := 0; k < degraded.K(); k++ {
+			if !delivery.Placed(i, k) {
+				cands = append(cands, placement.Candidate{Server: i, Item: k})
+			}
+		}
+	}
+	pres := placement.LazyGreedy(cands, oracle)
+	rep.ReplacedReplicas = len(pres.Chosen)
+
+	repaired := model.Strategy{Alloc: newAlloc, Delivery: delivery, Mode: st.Mode}
+	if err := degraded.Check(repaired); err != nil {
+		return model.Strategy{}, nil, fmt.Errorf("repair: produced invalid strategy: %w", err)
+	}
+	rep.RateAfter, rep.LatencyAfter = degraded.Evaluate(repaired)
+	return repaired, rep, nil
+}
+
+// bestRespond moves j to its Eq. 12 best response; reports movement.
+func bestRespond(in *model.Instance, l *model.Ledger, j int) bool {
+	cur := l.Current(j)
+	curB := l.Benefit(j, cur)
+	best, bestB := cur, curB
+	for _, i := range in.Top.Coverage[j] {
+		for x := 0; x < in.Top.Servers[i].Channels; x++ {
+			a := model.Alloc{Server: i, Channel: x}
+			if a == cur {
+				continue
+			}
+			if b := l.Benefit(j, a); b > bestB {
+				best, bestB = a, b
+			}
+		}
+	}
+	if best != cur && bestB > curB+1e-12 {
+		l.Move(j, best)
+		return true
+	}
+	return false
+}
+
+// neighbourhood collects users sharing coverage with any displaced user.
+func neighbourhood(in *model.Instance, displaced []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, j := range displaced {
+		for _, i := range in.Top.Coverage[j] {
+			for _, t := range in.Top.Covered[i] {
+				if !seen[t] {
+					seen[t] = true
+					out = append(out, t)
+				}
+			}
+		}
+	}
+	return out
+}
+
+type repairOracle struct {
+	in *model.Instance
+	ls *model.LatencyState
+	d  *model.Delivery
+}
+
+func (o *repairOracle) Gain(c placement.Candidate) float64 {
+	return float64(o.ls.GainOf(c.Server, c.Item))
+}
+
+func (o *repairOracle) Cost(c placement.Candidate) float64 {
+	return float64(o.in.Wl.Items[c.Item].Size)
+}
+
+func (o *repairOracle) Feasible(c placement.Candidate) bool {
+	if o.d.Placed(c.Server, c.Item) {
+		return false
+	}
+	size := o.in.Wl.Items[c.Item].Size
+	return o.d.Used(c.Server)+size <= o.in.Wl.Capacity[c.Server]
+}
+
+func (o *repairOracle) Commit(c placement.Candidate) float64 {
+	o.d.Place(c.Server, c.Item, o.in.Wl.Items[c.Item].Size)
+	return float64(o.ls.Commit(c.Server, c.Item))
+}

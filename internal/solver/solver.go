@@ -1,0 +1,138 @@
+// Package solver provides a time-budgeted anytime search over arbitrary
+// combinatorial states: multi-start hill climbing with an optional
+// simulated-annealing acceptance rule. It is the stand-in for the IBM
+// CPLEX CP Optimizer used by the paper's IDDE-IP baseline (§4.1): like
+// the CP optimizer with its 100-second search cap, it consumes a fixed
+// time budget and returns the best feasible incumbent found, without any
+// optimality guarantee. See DESIGN.md §4 for the substitution rationale.
+package solver
+
+import (
+	"math"
+	"time"
+
+	"idde/internal/rng"
+)
+
+// Problem describes a maximization problem over states of type S.
+// Implementations must keep Score pure and make Mutate produce only
+// feasible states.
+type Problem[S any] interface {
+	// Initial builds a feasible starting state.
+	Initial(r *rng.Stream) S
+	// Clone deep-copies a state.
+	Clone(s S) S
+	// Mutate perturbs s in place into a random feasible neighbor.
+	Mutate(s S, r *rng.Stream)
+	// Score evaluates s; higher is better.
+	Score(s S) float64
+}
+
+// Options bounds the search. At least one of Budget or MaxIters must be
+// set; the search stops at whichever limit is hit first.
+type Options struct {
+	// Budget is the wall-clock cap (the paper caps CPLEX at 100 s).
+	Budget time.Duration
+	// MaxIters caps candidate evaluations; used for deterministic tests.
+	MaxIters int
+	// RestartAfter restarts from a fresh Initial after this many
+	// non-improving iterations (0 = n/50 of MaxIters or 2000).
+	RestartAfter int
+	// Anneal enables simulated-annealing acceptance of downhill moves.
+	Anneal bool
+	// InitTemp is the initial temperature relative to the initial
+	// score's magnitude (default 0.1).
+	InitTemp float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Result reports the incumbent and search statistics.
+type Result[S any] struct {
+	Best      S
+	BestScore float64
+	// Iterations counts evaluated candidates; Restarts counts fresh
+	// starts beyond the first.
+	Iterations int
+	Restarts   int
+	Elapsed    time.Duration
+	// HitBudget reports whether the time budget (rather than MaxIters
+	// or natural exhaustion) ended the search — the signature behaviour
+	// of the IDDE-IP baseline.
+	HitBudget bool
+}
+
+// Maximize runs the anytime search.
+func Maximize[S any](p Problem[S], opt Options) Result[S] {
+	if opt.Budget <= 0 && opt.MaxIters <= 0 {
+		opt.MaxIters = 10000
+	}
+	if opt.RestartAfter <= 0 {
+		opt.RestartAfter = 2000
+	}
+	if opt.InitTemp <= 0 {
+		opt.InitTemp = 0.1
+	}
+	r := rng.New(opt.Seed)
+	start := time.Now()
+	deadline := time.Time{}
+	if opt.Budget > 0 {
+		deadline = start.Add(opt.Budget)
+	}
+
+	cur := p.Initial(r.Split("init"))
+	curScore := p.Score(cur)
+	res := Result[S]{Best: p.Clone(cur), BestScore: curScore}
+
+	temp := opt.InitTemp * (math.Abs(curScore) + 1)
+	mut := r.Split("mutate")
+	acc := r.Split("accept")
+	sinceImprove := 0
+
+	for {
+		if opt.MaxIters > 0 && res.Iterations >= opt.MaxIters {
+			break
+		}
+		// Checking the clock every iteration costs more than the
+		// mutations at small state sizes; sample it.
+		if !deadline.IsZero() && res.Iterations%64 == 0 && time.Now().After(deadline) {
+			res.HitBudget = true
+			break
+		}
+		cand := p.Clone(cur)
+		p.Mutate(cand, mut)
+		score := p.Score(cand)
+		res.Iterations++
+
+		accept := score > curScore
+		if !accept && opt.Anneal && temp > 1e-12 {
+			if delta := score - curScore; delta > -20*temp {
+				accept = acc.Float64() < math.Exp(delta/temp)
+			}
+			temp *= 0.9995
+		}
+		if accept {
+			cur, curScore = cand, score
+			if score > res.BestScore {
+				res.Best = p.Clone(cand)
+				res.BestScore = score
+				sinceImprove = 0
+				continue
+			}
+		}
+		sinceImprove++
+		if sinceImprove >= opt.RestartAfter {
+			res.Restarts++
+			cur = p.Initial(r.SplitN("restart", res.Restarts))
+			curScore = p.Score(cur)
+			if curScore > res.BestScore {
+				res.Best = p.Clone(cur)
+				res.BestScore = curScore
+			}
+			temp = opt.InitTemp * (math.Abs(curScore) + 1)
+			sinceImprove = 0
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}

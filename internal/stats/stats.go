@@ -1,0 +1,156 @@
+// Package stats provides the descriptive statistics used by the
+// experiment harness: each data point in the paper's figures is the
+// average of 50 independent runs (§4.3), so the harness accumulates
+// per-run metrics here and reports means with dispersion.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Acc accumulates scalar observations with Welford's online algorithm,
+// which stays numerically stable for long runs. The zero value is ready
+// to use.
+type Acc struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (a *Acc) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N reports the number of observations.
+func (a *Acc) N() int { return a.n }
+
+// Mean reports the sample mean (0 when empty).
+func (a *Acc) Mean() float64 { return a.mean }
+
+// Var reports the unbiased sample variance (0 with fewer than two
+// observations).
+func (a *Acc) Var() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Std reports the sample standard deviation.
+func (a *Acc) Std() float64 { return math.Sqrt(a.Var()) }
+
+// Min and Max report observed extremes (0 when empty).
+func (a *Acc) Min() float64 { return a.min }
+func (a *Acc) Max() float64 { return a.max }
+
+// CI95 reports the half-width of the ~95% confidence interval on the
+// mean, using the normal approximation (adequate at the 50 replicas the
+// harness runs).
+func (a *Acc) CI95() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return 1.96 * a.Std() / math.Sqrt(float64(a.n))
+}
+
+// Summary snapshots an accumulator into a value type.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	CI95      float64
+}
+
+// Summary returns a snapshot of the accumulator.
+func (a *Acc) Summary() Summary {
+	return Summary{N: a.n, Mean: a.Mean(), Std: a.Std(), Min: a.min, Max: a.max, CI95: a.CI95()}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g ±%.2g (std=%.3g, min=%.4g, max=%.4g)",
+		s.N, s.Mean, s.CI95, s.Std, s.Min, s.Max)
+}
+
+// Mean computes the mean of a slice (0 when empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Percentile reports the p-th percentile (0 <= p <= 100) using linear
+// interpolation between order statistics. It panics on an empty slice or
+// a p outside [0,100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic("stats: Percentile out of range")
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	if len(ys) == 1 {
+		return ys[0]
+	}
+	pos := p / 100 * float64(len(ys)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return ys[lo]
+	}
+	frac := pos - float64(lo)
+	return ys[lo]*(1-frac) + ys[hi]*frac
+}
+
+// GeoMean reports the geometric mean of strictly positive values, the
+// conventional way to aggregate speedup ratios across experiment sets.
+// Non-positive inputs cause a panic.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic("stats: GeoMean of non-positive value")
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// RelAdvantage reports how much better `ours` is than `theirs` as a
+// fraction, in the orientation the paper quotes:
+//   - higherIsBetter: (ours − theirs)/theirs   (e.g. data rate, +9.2%)
+//   - !higherIsBetter: (theirs − ours)/theirs  (e.g. latency, +82.6%)
+func RelAdvantage(ours, theirs float64, higherIsBetter bool) float64 {
+	if theirs == 0 {
+		return 0
+	}
+	if higherIsBetter {
+		return (ours - theirs) / theirs
+	}
+	return (theirs - ours) / theirs
+}

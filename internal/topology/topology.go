@@ -1,0 +1,245 @@
+// Package topology models the physical layout of an edge storage
+// system: edge servers with coverage disks and wireless channels, mobile
+// users with transmit powers, and the wired inter-server network. It
+// stands in for the EUA dataset the paper samples (125 servers and 816
+// users in the Melbourne CBD) — see DESIGN.md §4 for the substitution
+// rationale — and precomputes the coverage sets V_j / U_i and the
+// all-pairs path costs that every IDDE algorithm consumes.
+package topology
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"idde/internal/geo"
+	"idde/internal/graph"
+	"idde/internal/units"
+)
+
+// Server is an edge server v_i: a base station with storage, wireless
+// channels and a radio footprint.
+type Server struct {
+	ID       int          `json:"id"`
+	Pos      geo.Point    `json:"pos"`
+	Radius   units.Meters `json:"radius"`
+	Channels int          `json:"channels"`
+	// Bandwidth is the per-channel bandwidth B_{i,x} (all channels of a
+	// server share it, as in §4.2's "3 channels, each with a bandwidth
+	// of 200MBps").
+	Bandwidth units.Rate `json:"bandwidth"`
+	// Failed marks a server that is down: it covers no users, serves no
+	// replicas and forwards no traffic. Failure-injection scenarios set
+	// it (internal/repair); generators never do.
+	Failed bool `json:"failed,omitempty"`
+}
+
+// User is a mobile user u_j with a device transmit power p_j and the
+// Shannon-constraint rate cap R_{j,max} of Eq. (4).
+type User struct {
+	ID      int         `json:"id"`
+	Pos     geo.Point   `json:"pos"`
+	Power   units.Watts `json:"power"`
+	MaxRate units.Rate  `json:"maxRate"`
+}
+
+// Topology is an immutable scenario layout. Build one with the
+// Generator or assemble the fields manually and call Finalize.
+type Topology struct {
+	Region  geo.Rect `json:"region"`
+	Servers []Server `json:"servers"`
+	Users   []User   `json:"users"`
+	// Links carries the inter-server network; it is serialized as an
+	// edge list.
+	Net *graph.Graph `json:"-"`
+	// CloudRate is the delivery speed from the remote cloud to any edge
+	// server (600 MBps in §4.2).
+	CloudRate units.Rate `json:"cloudRate"`
+	// AllowPartition permits a disconnected wired network: unreachable
+	// server pairs get +Inf path cost and Eq. 8 falls back to the
+	// cloud. Failure-injection sets it; healthy topologies are rejected
+	// when disconnected, since that indicates a generator bug.
+	AllowPartition bool `json:"-"`
+
+	// Derived state, populated by Finalize:
+
+	// Coverage[j] lists the servers covering user j (the paper's V_j),
+	// ascending by id.
+	Coverage [][]int `json:"-"`
+	// Covered[i] lists the users inside server i's footprint (U_i).
+	Covered [][]int `json:"-"`
+	// PathCost[o][i] is the cheapest per-MB transfer cost between
+	// servers o and i over the wired network (the basis of Eq. 8's
+	// L_{k,o,i}); +Inf when unreachable.
+	PathCost [][]units.SecondsPerMB `json:"-"`
+	// CloudCost is the per-MB cost of delivering from the cloud.
+	CloudCost units.SecondsPerMB `json:"-"`
+	// Dist[i][j] is the server-user distance matrix, used for channel
+	// gains (both the serving link g_{i,x,j} and the interference terms
+	// g_{i,x,t} of Eq. 2 need arbitrary server×user pairs).
+	Dist [][]units.Meters `json:"-"`
+}
+
+// N reports the number of edge servers; M the number of users.
+func (t *Topology) N() int { return len(t.Servers) }
+func (t *Topology) M() int { return len(t.Users) }
+
+// Finalize computes the derived state (coverage sets, distance matrix,
+// path costs) and validates the layout. It must be called after any
+// structural mutation.
+func (t *Topology) Finalize() error {
+	if t.Net == nil {
+		return errors.New("topology: nil network graph")
+	}
+	if t.Net.N() != len(t.Servers) {
+		return fmt.Errorf("topology: network has %d vertices for %d servers", t.Net.N(), len(t.Servers))
+	}
+	if t.CloudRate <= 0 {
+		return errors.New("topology: non-positive cloud rate")
+	}
+	for i, sv := range t.Servers {
+		if sv.ID != i {
+			return fmt.Errorf("topology: server %d has id %d", i, sv.ID)
+		}
+		if sv.Channels <= 0 {
+			return fmt.Errorf("topology: server %d has %d channels", i, sv.Channels)
+		}
+		if sv.Bandwidth <= 0 || sv.Radius <= 0 {
+			return fmt.Errorf("topology: server %d has non-positive bandwidth or radius", i)
+		}
+	}
+	for j, u := range t.Users {
+		if u.ID != j {
+			return fmt.Errorf("topology: user %d has id %d", j, u.ID)
+		}
+		if u.Power <= 0 || u.MaxRate <= 0 {
+			return fmt.Errorf("topology: user %d has non-positive power or max rate", j)
+		}
+	}
+
+	n, m := t.N(), t.M()
+	t.Dist = make([][]units.Meters, n)
+	for i := range t.Dist {
+		t.Dist[i] = make([]units.Meters, m)
+		for j := range t.Dist[i] {
+			t.Dist[i][j] = geo.Dist(t.Servers[i].Pos, t.Users[j].Pos)
+		}
+	}
+
+	t.Coverage = make([][]int, m)
+	t.Covered = make([][]int, n)
+	for i := 0; i < n; i++ {
+		if t.Servers[i].Failed {
+			continue
+		}
+		r := float64(t.Servers[i].Radius)
+		for j := 0; j < m; j++ {
+			if float64(t.Dist[i][j]) <= r {
+				t.Coverage[j] = append(t.Coverage[j], i)
+				t.Covered[i] = append(t.Covered[i], j)
+			}
+		}
+	}
+
+	t.PathCost = t.Net.APSP()
+	t.CloudCost = units.PerMB(t.CloudRate)
+	if !t.AllowPartition {
+		for o := range t.PathCost {
+			for i := range t.PathCost[o] {
+				if math.IsInf(float64(t.PathCost[o][i]), 1) {
+					return fmt.Errorf("topology: servers %d and %d are disconnected", o, i)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CoverageOf reports the servers covering user j (V_j).
+func (t *Topology) CoverageOf(j int) []int { return t.Coverage[j] }
+
+// Covers reports whether server i covers user j (failed servers cover
+// nobody).
+func (t *Topology) Covers(i, j int) bool {
+	if t.Servers[i].Failed {
+		return false
+	}
+	return float64(t.Dist[i][j]) <= float64(t.Servers[i].Radius)
+}
+
+// TotalChannels reports Σ_i |C_i|, the system's channel inventory.
+func (t *Topology) TotalChannels() int {
+	total := 0
+	for _, sv := range t.Servers {
+		total += sv.Channels
+	}
+	return total
+}
+
+// jsonTopology is the wire format: the graph becomes an edge list.
+type jsonTopology struct {
+	Region    geo.Rect   `json:"region"`
+	Servers   []Server   `json:"servers"`
+	Users     []User     `json:"users"`
+	CloudRate units.Rate `json:"cloudRate"`
+	Links     []jsonLink `json:"links"`
+}
+
+type jsonLink struct {
+	U int `json:"u"`
+	V int `json:"v"`
+	// SpeedMBps is the link speed; stored as speed (not cost) for
+	// human-editable files.
+	SpeedMBps float64 `json:"speedMBps"`
+}
+
+// MarshalJSON encodes the topology including its link list.
+func (t *Topology) MarshalJSON() ([]byte, error) {
+	jt := jsonTopology{
+		Region:    t.Region,
+		Servers:   t.Servers,
+		Users:     t.Users,
+		CloudRate: t.CloudRate,
+	}
+	if t.Net != nil {
+		for _, e := range t.Net.Edges() {
+			jt.Links = append(jt.Links, jsonLink{U: e.U, V: e.V, SpeedMBps: 1 / float64(e.Cost)})
+		}
+	}
+	return json.Marshal(jt)
+}
+
+// UnmarshalJSON decodes a topology and finalizes it.
+func (t *Topology) UnmarshalJSON(data []byte) error {
+	var jt jsonTopology
+	if err := json.Unmarshal(data, &jt); err != nil {
+		return err
+	}
+	t.Region = jt.Region
+	t.Servers = jt.Servers
+	t.Users = jt.Users
+	t.CloudRate = jt.CloudRate
+	t.Net = graph.New(len(jt.Servers))
+	for _, l := range jt.Links {
+		t.Net.AddEdge(l.U, l.V, units.PerMB(units.Rate(l.SpeedMBps)))
+	}
+	return t.Finalize()
+}
+
+// Save writes the topology as JSON.
+func (t *Topology) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// Load reads a topology from JSON and finalizes it.
+func Load(r io.Reader) (*Topology, error) {
+	var t Topology
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}

@@ -1,0 +1,151 @@
+// Package tuning provides sensitivity sweeps over the design knobs the
+// paper's Table 2 holds fixed — channels per server, channel bandwidth,
+// coverage radius, request skew and cloud rate — answering the
+// deployment questions a vendor faces after adopting IDDE-G ("would a
+// fourth channel help more than wider coverage?"). Each sweep runs
+// IDDE-G over randomized instances and aggregates both objectives.
+package tuning
+
+import (
+	"fmt"
+
+	"idde/internal/core"
+	"idde/internal/model"
+	"idde/internal/radio"
+	"idde/internal/rng"
+	"idde/internal/stats"
+	"idde/internal/topology"
+	"idde/internal/units"
+	"idde/internal/workload"
+)
+
+// Knob identifies a tunable scenario parameter.
+type Knob string
+
+const (
+	// Channels sweeps the per-server channel count |C_i|.
+	Channels Knob = "channels"
+	// Bandwidth sweeps the per-channel bandwidth B (MBps).
+	Bandwidth Knob = "bandwidth"
+	// Radius sweeps the mean coverage radius (m), keeping the paper's
+	// ±33% spread.
+	Radius Knob = "radius"
+	// Zipf sweeps the request popularity skew.
+	Zipf Knob = "zipf"
+	// CloudRate sweeps the cloud delivery speed (MBps).
+	CloudRate Knob = "cloudrate"
+)
+
+// Knobs lists the supported sweep dimensions.
+func Knobs() []Knob { return []Knob{Channels, Bandwidth, Radius, Zipf, CloudRate} }
+
+// Config describes one sweep.
+type Config struct {
+	Knob   Knob
+	Values []float64
+	// N, M, K and Density fix the scenario size (defaults 30/200/5/1.0).
+	N, M, K int
+	Density float64
+	Reps    int
+	Seed    uint64
+}
+
+// Point is the aggregated outcome at one knob value.
+type Point struct {
+	X         float64
+	RateMBps  stats.Summary
+	LatencyMs stats.Summary
+}
+
+// Sweep runs IDDE-G across the knob values.
+func Sweep(cfg Config) ([]Point, error) {
+	if len(cfg.Values) == 0 {
+		return nil, fmt.Errorf("tuning: no values")
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = 5
+	}
+	if cfg.N <= 0 {
+		cfg.N = 30
+	}
+	if cfg.M <= 0 {
+		cfg.M = 200
+	}
+	if cfg.K <= 0 {
+		cfg.K = 5
+	}
+	if cfg.Density <= 0 {
+		cfg.Density = 1.0
+	}
+	known := false
+	for _, k := range Knobs() {
+		if k == cfg.Knob {
+			known = true
+		}
+	}
+	if !known {
+		return nil, fmt.Errorf("tuning: unknown knob %q", cfg.Knob)
+	}
+
+	out := make([]Point, len(cfg.Values))
+	for vi, v := range cfg.Values {
+		var rate, lat stats.Acc
+		for rep := 0; rep < cfg.Reps; rep++ {
+			// Paired design: the same rep index draws the same topology
+			// and workload randomness at every knob value, so the sweep
+			// isolates the knob instead of instance-to-instance noise.
+			seed := rng.New(cfg.Seed).SplitN("rep", rep).Seed()
+			in, err := buildInstance(cfg, v, seed)
+			if err != nil {
+				return nil, err
+			}
+			res := core.Solve(in, core.DefaultOptions())
+			rate.Add(float64(res.AvgRate))
+			lat.Add(res.AvgLatency.Millis())
+		}
+		out[vi] = Point{X: v, RateMBps: rate.Summary(), LatencyMs: lat.Summary()}
+	}
+	return out, nil
+}
+
+func buildInstance(cfg Config, v float64, seed uint64) (*model.Instance, error) {
+	tc := topology.DefaultGen(cfg.N, cfg.M, cfg.Density)
+	wc := workload.DefaultGen(cfg.K)
+	switch cfg.Knob {
+	case Channels:
+		if v < 1 {
+			return nil, fmt.Errorf("tuning: channels must be ≥ 1")
+		}
+		tc.Channels = int(v)
+	case Bandwidth:
+		if v <= 0 {
+			return nil, fmt.Errorf("tuning: bandwidth must be positive")
+		}
+		tc.Bandwidth = units.Rate(v)
+	case Radius:
+		if v <= 0 {
+			return nil, fmt.Errorf("tuning: radius must be positive")
+		}
+		tc.CoverageRadius = [2]units.Meters{units.Meters(v * 2 / 3), units.Meters(v * 4 / 3)}
+	case Zipf:
+		if v <= 0 {
+			return nil, fmt.Errorf("tuning: skew must be positive")
+		}
+		wc.ZipfSkew = v
+	case CloudRate:
+		if v <= 0 {
+			return nil, fmt.Errorf("tuning: cloud rate must be positive")
+		}
+		tc.CloudRate = units.Rate(v)
+	}
+	s := rng.New(seed)
+	top, err := topology.Generate(tc, s.Split("topology"))
+	if err != nil {
+		return nil, err
+	}
+	wl, err := workload.Generate(wc, cfg.N, cfg.M, s.Split("workload"))
+	if err != nil {
+		return nil, err
+	}
+	return model.New(top, wl, radio.Default())
+}

@@ -1,0 +1,116 @@
+package tuning
+
+import (
+	"testing"
+)
+
+// smallSweep keeps test scenarios light.
+func smallSweep(knob Knob, values []float64) Config {
+	return Config{Knob: knob, Values: values, N: 10, M: 80, K: 3, Density: 1.0, Reps: 2, Seed: 1}
+}
+
+func TestChannelsSweepRaisesRates(t *testing.T) {
+	pts, err := Sweep(smallSweep(Channels, []float64{1, 3, 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// More channels → less co-channel interference → higher rates.
+	if pts[2].RateMBps.Mean <= pts[0].RateMBps.Mean {
+		t.Errorf("rates did not rise with channels: %v -> %v",
+			pts[0].RateMBps.Mean, pts[2].RateMBps.Mean)
+	}
+}
+
+func TestBandwidthSweepRaisesRates(t *testing.T) {
+	pts, err := Sweep(smallSweep(Bandwidth, []float64{50, 200}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[1].RateMBps.Mean <= pts[0].RateMBps.Mean {
+		t.Errorf("rates did not rise with bandwidth: %v -> %v",
+			pts[0].RateMBps.Mean, pts[1].RateMBps.Mean)
+	}
+}
+
+func TestCloudRateSweepLowersLatency(t *testing.T) {
+	pts, err := Sweep(smallSweep(CloudRate, []float64{150, 1200}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A faster cloud lowers the latency of whatever still misses the
+	// edge.
+	if pts[1].LatencyMs.Mean > pts[0].LatencyMs.Mean+1e-9 {
+		t.Errorf("latency did not fall with cloud rate: %v -> %v",
+			pts[0].LatencyMs.Mean, pts[1].LatencyMs.Mean)
+	}
+}
+
+func TestRadiusSweepRuns(t *testing.T) {
+	pts, err := Sweep(smallSweep(Radius, []float64{450, 900}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.RateMBps.Mean <= 0 || p.RateMBps.N != 2 {
+			t.Errorf("malformed point %+v", p)
+		}
+	}
+}
+
+func TestZipfSweepRuns(t *testing.T) {
+	pts, err := Sweep(smallSweep(Zipf, []float64{0.2, 1.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	if _, err := Sweep(Config{Knob: Channels}); err == nil {
+		t.Error("empty values accepted")
+	}
+	if _, err := Sweep(smallSweep("warp", []float64{1})); err == nil {
+		t.Error("unknown knob accepted")
+	}
+	if _, err := Sweep(smallSweep(Channels, []float64{0})); err == nil {
+		t.Error("zero channels accepted")
+	}
+	if _, err := Sweep(smallSweep(Bandwidth, []float64{-1})); err == nil {
+		t.Error("negative bandwidth accepted")
+	}
+	if _, err := Sweep(smallSweep(CloudRate, []float64{0})); err == nil {
+		t.Error("zero cloud rate accepted")
+	}
+	if _, err := Sweep(smallSweep(Radius, []float64{0})); err == nil {
+		t.Error("zero radius accepted")
+	}
+	if _, err := Sweep(smallSweep(Zipf, []float64{0})); err == nil {
+		t.Error("zero skew accepted")
+	}
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	cfg := smallSweep(Channels, []float64{2})
+	a, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].RateMBps.Mean != b[0].RateMBps.Mean {
+		t.Error("sweep not deterministic")
+	}
+}
+
+func TestKnobsList(t *testing.T) {
+	if len(Knobs()) != 5 {
+		t.Errorf("knobs = %v", Knobs())
+	}
+}

@@ -1,0 +1,411 @@
+// Package vendor models the storage competition the paper's
+// introduction motivates: multiple app vendors (Facebook, Nintendo, …)
+// rent slices of the same edge storage system, so no vendor can assume
+// "there will always be adequate storage resources on edge servers for
+// hire". Users are partitioned among vendors (each vendor serves its own
+// subscribers with its own catalog); the wireless side is shared — every
+// vendor's users interfere with everyone — while the storage side is
+// contested per server.
+//
+// Three reservation-splitting policies are provided:
+//
+//   - EvenSplit:     each server's reservation is divided equally.
+//   - Proportional:  divided in proportion to each vendor's demand from
+//     the server's coverage area.
+//   - Draft:         vendors alternate claiming their current best
+//     replica (highest Eq. 17 gain-per-MB) out of the
+//     shared pool until nothing fits — a greedy auction.
+//
+// The user allocation game runs once, globally (interference does not
+// care who a user subscribes to); each vendor then receives its own
+// delivery profile and per-vendor objectives.
+package vendor
+
+import (
+	"fmt"
+
+	"idde/internal/core"
+	"idde/internal/model"
+	"idde/internal/rng"
+	"idde/internal/units"
+)
+
+// SplitPolicy selects how contested per-server storage is divided.
+type SplitPolicy int
+
+const (
+	EvenSplit SplitPolicy = iota
+	Proportional
+	Draft
+)
+
+func (p SplitPolicy) String() string {
+	switch p {
+	case EvenSplit:
+		return "even-split"
+	case Proportional:
+		return "proportional"
+	case Draft:
+		return "draft"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Assignment partitions an instance's users and items among vendors.
+type Assignment struct {
+	// Vendors is the number of competing vendors V.
+	Vendors int
+	// UserOwner[j] ∈ [0,V) is user j's vendor.
+	UserOwner []int
+	// ItemOwner[k] ∈ [0,V) is item k's vendor; users only request their
+	// own vendor's items for the assignment to be coherent.
+	ItemOwner []int
+}
+
+// RandomAssignment partitions users uniformly and derives item owners
+// from majority demand; requests crossing vendors are reported as an
+// error since real vendor catalogs are disjoint. Use SplitInstance for
+// a guaranteed-coherent partition.
+func RandomAssignment(in *model.Instance, vendors int, s *rng.Stream) (*Assignment, error) {
+	if vendors <= 0 {
+		return nil, fmt.Errorf("vendor: need at least one vendor")
+	}
+	a := &Assignment{
+		Vendors:   vendors,
+		UserOwner: make([]int, in.M()),
+		ItemOwner: make([]int, in.K()),
+	}
+	// Assign items round-robin, then users to the vendor owning their
+	// first requested item (guaranteeing coherence for single-item
+	// users; multi-item users keep only coherent requests in scoring).
+	for k := 0; k < in.K(); k++ {
+		a.ItemOwner[k] = k % vendors
+	}
+	for j := 0; j < in.M(); j++ {
+		reqs := in.Wl.Requests[j]
+		if len(reqs) == 0 {
+			a.UserOwner[j] = s.IntN(vendors)
+			continue
+		}
+		a.UserOwner[j] = a.ItemOwner[reqs[s.IntN(len(reqs))]]
+	}
+	return a, nil
+}
+
+// VendorMetrics reports one vendor's outcome.
+type VendorMetrics struct {
+	Vendor int
+	Users  int
+	// RateMBps is the mean rate over the vendor's users.
+	RateMBps float64
+	// LatencyMs is the mean latency over the vendor's coherent requests
+	// (requests for its own items).
+	LatencyMs float64
+	// ReservedMB is the storage the policy granted the vendor.
+	ReservedMB float64
+	// Replicas the vendor placed.
+	Replicas int
+}
+
+// Result is the outcome of a competition round.
+type Result struct {
+	Policy    SplitPolicy
+	PerVendor []VendorMetrics
+	// JainRate is Jain's fairness index over vendor rates (1 = fair).
+	JainRate float64
+	// SystemLatencyMs is the demand-weighted mean latency.
+	SystemLatencyMs float64
+}
+
+// Compete runs the shared allocation game and the chosen storage split.
+func Compete(in *model.Instance, a *Assignment, policy SplitPolicy) (*Result, error) {
+	if err := validate(in, a); err != nil {
+		return nil, err
+	}
+	alloc := core.Solve(in, core.DefaultOptions()).Strategy.Alloc
+
+	shares, err := splitCapacity(in, a, policy, alloc)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Policy: policy, PerVendor: make([]VendorMetrics, a.Vendors)}
+	deliveries := make([]*model.Delivery, a.Vendors)
+	switch policy {
+	case Draft:
+		deliveries, err = draftDeliveries(in, a, alloc)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		for v := 0; v < a.Vendors; v++ {
+			deliveries[v] = greedyWithin(in, a, v, alloc, shares[v])
+		}
+	}
+
+	totalLat, totalReqs := 0.0, 0
+	for v := 0; v < a.Vendors; v++ {
+		m := &res.PerVendor[v]
+		m.Vendor = v
+		m.Replicas = deliveries[v].Count()
+		for i := 0; i < in.N(); i++ {
+			m.ReservedMB += float64(sharesOrUsed(shares, deliveries, policy, v, i))
+		}
+		rateSum := 0.0
+		for j := 0; j < in.M(); j++ {
+			if a.UserOwner[j] != v {
+				continue
+			}
+			m.Users++
+			rateSum += float64(in.UserRate(alloc, j))
+		}
+		if m.Users > 0 {
+			m.RateMBps = rateSum / float64(m.Users)
+		}
+		latSum, reqs := 0.0, 0
+		for j, items := range in.Wl.Requests {
+			if a.UserOwner[j] != v {
+				continue
+			}
+			for _, k := range items {
+				if a.ItemOwner[k] != v {
+					continue // incoherent request; not this vendor's traffic
+				}
+				latSum += float64(in.RequestLatency(alloc, deliveries[v], j, k))
+				reqs++
+			}
+		}
+		if reqs > 0 {
+			m.LatencyMs = latSum / float64(reqs) * 1e3
+		}
+		totalLat += latSum
+		totalReqs += reqs
+	}
+	if totalReqs > 0 {
+		res.SystemLatencyMs = totalLat / float64(totalReqs) * 1e3
+	}
+	res.JainRate = jain(res.PerVendor)
+	return res, nil
+}
+
+func validate(in *model.Instance, a *Assignment) error {
+	if a == nil || a.Vendors <= 0 {
+		return fmt.Errorf("vendor: empty assignment")
+	}
+	if len(a.UserOwner) != in.M() || len(a.ItemOwner) != in.K() {
+		return fmt.Errorf("vendor: assignment sized %d/%d for instance %d/%d",
+			len(a.UserOwner), len(a.ItemOwner), in.M(), in.K())
+	}
+	for j, v := range a.UserOwner {
+		if v < 0 || v >= a.Vendors {
+			return fmt.Errorf("vendor: user %d has owner %d", j, v)
+		}
+	}
+	for k, v := range a.ItemOwner {
+		if v < 0 || v >= a.Vendors {
+			return fmt.Errorf("vendor: item %d has owner %d", k, v)
+		}
+	}
+	return nil
+}
+
+// splitCapacity computes shares[v][i] MB for the static policies; Draft
+// ignores it.
+func splitCapacity(in *model.Instance, a *Assignment, policy SplitPolicy, alloc model.Allocation) ([][]units.MegaBytes, error) {
+	shares := make([][]units.MegaBytes, a.Vendors)
+	for v := range shares {
+		shares[v] = make([]units.MegaBytes, in.N())
+	}
+	switch policy {
+	case EvenSplit, Draft:
+		for i := 0; i < in.N(); i++ {
+			per := in.Wl.Capacity[i] / units.MegaBytes(a.Vendors)
+			for v := 0; v < a.Vendors; v++ {
+				shares[v][i] = per
+			}
+		}
+	case Proportional:
+		for i := 0; i < in.N(); i++ {
+			weights := make([]float64, a.Vendors)
+			total := 0.0
+			for _, j := range in.Top.Covered[i] {
+				for _, k := range in.Wl.Requests[j] {
+					if a.ItemOwner[k] == a.UserOwner[j] {
+						weights[a.UserOwner[j]]++
+						total++
+					}
+				}
+			}
+			for v := 0; v < a.Vendors; v++ {
+				if total > 0 {
+					shares[v][i] = units.MegaBytes(float64(in.Wl.Capacity[i]) * weights[v] / total)
+				} else {
+					shares[v][i] = in.Wl.Capacity[i] / units.MegaBytes(a.Vendors)
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("vendor: unknown policy %v", policy)
+	}
+	return shares, nil
+}
+
+// greedyWithin runs the Eq. 17 greedy for vendor v inside its share.
+func greedyWithin(in *model.Instance, a *Assignment, v int, alloc model.Allocation, share []units.MegaBytes) *model.Delivery {
+	d := model.NewDelivery(in.N(), in.K())
+	ls := newVendorLatency(in, a, v, alloc)
+	for {
+		bestI, bestK, bestRatio := -1, -1, 0.0
+		for i := 0; i < in.N(); i++ {
+			for k := 0; k < in.K(); k++ {
+				if a.ItemOwner[k] != v || d.Placed(i, k) {
+					continue
+				}
+				size := in.Wl.Items[k].Size
+				if d.Used(i)+size > share[i] {
+					continue
+				}
+				if g := ls.gain(i, k); g > 0 {
+					if ratio := g / float64(size); ratio > bestRatio {
+						bestRatio, bestI, bestK = ratio, i, k
+					}
+				}
+			}
+		}
+		if bestI < 0 {
+			return d
+		}
+		d.Place(bestI, bestK, in.Wl.Items[bestK].Size)
+		ls.commit(bestI, bestK)
+	}
+}
+
+// draftDeliveries lets vendors alternate picks from the *shared* pool.
+func draftDeliveries(in *model.Instance, a *Assignment, alloc model.Allocation) ([]*model.Delivery, error) {
+	used := make([]units.MegaBytes, in.N())
+	deliveries := make([]*model.Delivery, a.Vendors)
+	states := make([]*vendorLatency, a.Vendors)
+	for v := 0; v < a.Vendors; v++ {
+		deliveries[v] = model.NewDelivery(in.N(), in.K())
+		states[v] = newVendorLatency(in, a, v, alloc)
+	}
+	done := make([]bool, a.Vendors)
+	remaining := a.Vendors
+	for turn := 0; remaining > 0; turn = (turn + 1) % a.Vendors {
+		v := turn
+		if done[v] {
+			continue
+		}
+		bestI, bestK, bestRatio := -1, -1, 0.0
+		for i := 0; i < in.N(); i++ {
+			for k := 0; k < in.K(); k++ {
+				if a.ItemOwner[k] != v || deliveries[v].Placed(i, k) {
+					continue
+				}
+				size := in.Wl.Items[k].Size
+				if used[i]+size > in.Wl.Capacity[i] {
+					continue
+				}
+				if g := states[v].gain(i, k); g > 0 {
+					if ratio := g / float64(size); ratio > bestRatio {
+						bestRatio, bestI, bestK = ratio, i, k
+					}
+				}
+			}
+		}
+		if bestI < 0 {
+			done[v] = true
+			remaining--
+			continue
+		}
+		size := in.Wl.Items[bestK].Size
+		used[bestI] += size
+		deliveries[v].Place(bestI, bestK, size)
+		states[v].commit(bestI, bestK)
+	}
+	return deliveries, nil
+}
+
+func sharesOrUsed(shares [][]units.MegaBytes, deliveries []*model.Delivery, policy SplitPolicy, v, i int) units.MegaBytes {
+	if policy == Draft {
+		return deliveries[v].Used(i)
+	}
+	return shares[v][i]
+}
+
+func jain(ms []VendorMetrics) float64 {
+	var sum, sumSq float64
+	n := 0
+	for _, m := range ms {
+		if m.Users == 0 {
+			continue
+		}
+		sum += m.RateMBps
+		sumSq += m.RateMBps * m.RateMBps
+		n++
+	}
+	if n == 0 || sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// vendorLatency tracks per-request best latencies for one vendor's
+// coherent demand.
+type vendorLatency struct {
+	in    *model.Instance
+	alloc model.Allocation
+	reqs  []struct{ j, k int }
+	cur   []units.Seconds
+}
+
+func newVendorLatency(in *model.Instance, a *Assignment, v int, alloc model.Allocation) *vendorLatency {
+	vl := &vendorLatency{in: in, alloc: alloc}
+	for j, items := range in.Wl.Requests {
+		if a.UserOwner[j] != v {
+			continue
+		}
+		for _, k := range items {
+			if a.ItemOwner[k] != v {
+				continue
+			}
+			vl.reqs = append(vl.reqs, struct{ j, k int }{j, k})
+			vl.cur = append(vl.cur, in.CloudLatency(k))
+		}
+	}
+	return vl
+}
+
+func (vl *vendorLatency) latVia(idx, i int) units.Seconds {
+	r := vl.reqs[idx]
+	a := vl.alloc[r.j]
+	if !a.Allocated() {
+		return vl.in.CloudLatency(r.k) + 1 // never better
+	}
+	return vl.in.EdgeLatency(r.k, i, a.Server)
+}
+
+func (vl *vendorLatency) gain(i, k int) float64 {
+	g := 0.0
+	for idx, r := range vl.reqs {
+		if r.k != k {
+			continue
+		}
+		if nl := vl.latVia(idx, i); nl < vl.cur[idx] {
+			g += float64(vl.cur[idx] - nl)
+		}
+	}
+	return g
+}
+
+func (vl *vendorLatency) commit(i, k int) {
+	for idx, r := range vl.reqs {
+		if r.k != k {
+			continue
+		}
+		if nl := vl.latVia(idx, i); nl < vl.cur[idx] {
+			vl.cur[idx] = nl
+		}
+	}
+}

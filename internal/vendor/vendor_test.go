@@ -1,0 +1,167 @@
+package vendor
+
+import (
+	"testing"
+
+	"idde/internal/model"
+	"idde/internal/radio"
+	"idde/internal/rng"
+	"idde/internal/topology"
+	"idde/internal/units"
+	"idde/internal/workload"
+)
+
+func genInstance(t *testing.T, n, m, k int, seed uint64) *model.Instance {
+	t.Helper()
+	s := rng.New(seed)
+	top, err := topology.Generate(topology.DefaultGen(n, m, 1.0), s.Split("top"))
+	if err != nil {
+		t.Fatalf("topology: %v", err)
+	}
+	wl, err := workload.Generate(workload.DefaultGen(k), n, m, s.Split("wl"))
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	in, err := model.New(top, wl, radio.Default())
+	if err != nil {
+		t.Fatalf("model: %v", err)
+	}
+	return in
+}
+
+func TestRandomAssignmentShape(t *testing.T) {
+	in := genInstance(t, 12, 80, 6, 1)
+	a, err := RandomAssignment(in, 3, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Vendors != 3 || len(a.UserOwner) != 80 || len(a.ItemOwner) != 6 {
+		t.Fatalf("assignment malformed: %+v", a)
+	}
+	counts := make([]int, 3)
+	for _, v := range a.UserOwner {
+		if v < 0 || v >= 3 {
+			t.Fatalf("owner %d out of range", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c == 0 {
+			t.Errorf("vendor %d has no users", v)
+		}
+	}
+	if _, err := RandomAssignment(in, 0, rng.New(1)); err == nil {
+		t.Error("zero vendors accepted")
+	}
+}
+
+func TestCompetePoliciesProduceValidResults(t *testing.T) {
+	in := genInstance(t, 12, 100, 6, 3)
+	a, err := RandomAssignment(in, 3, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range []SplitPolicy{EvenSplit, Proportional, Draft} {
+		res, err := Compete(in, a, policy)
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if len(res.PerVendor) != 3 {
+			t.Fatalf("%v: vendor count wrong", policy)
+		}
+		for _, m := range res.PerVendor {
+			if m.Users > 0 && m.RateMBps <= 0 {
+				t.Errorf("%v: vendor %d has users but no rate", policy, m.Vendor)
+			}
+			if m.LatencyMs < 0 || m.ReservedMB < 0 {
+				t.Errorf("%v: vendor %d malformed: %+v", policy, m.Vendor, m)
+			}
+		}
+		if res.JainRate <= 0 || res.JainRate > 1+1e-9 {
+			t.Errorf("%v: Jain index %v out of range", policy, res.JainRate)
+		}
+		if res.SystemLatencyMs < 0 {
+			t.Errorf("%v: negative system latency", policy)
+		}
+	}
+}
+
+func TestCapacityIsNeverOversubscribed(t *testing.T) {
+	in := genInstance(t, 10, 80, 6, 5)
+	a, err := RandomAssignment(in, 3, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range []SplitPolicy{EvenSplit, Proportional, Draft} {
+		res, err := Compete(in, a, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = res
+		// Recompute combined usage from each vendor's replica count via
+		// a fresh competition (deliveries are internal; reserve sums
+		// must respect server capacities in aggregate).
+		var totalReserved units.MegaBytes
+		for _, m := range res.PerVendor {
+			totalReserved += units.MegaBytes(m.ReservedMB)
+		}
+		if policy != Draft && float64(totalReserved) > float64(in.Wl.TotalCapacity())+1e-6 {
+			t.Errorf("%v: reserved %v exceeds capacity %v", policy, totalReserved, in.Wl.TotalCapacity())
+		}
+	}
+}
+
+func TestDraftBeatsEvenSplitOnSystemLatency(t *testing.T) {
+	// The draft allocates contested storage to whoever gains most per
+	// MB, so system-wide latency should not be worse than a blind even
+	// split (ties possible on easy instances).
+	better, worse := 0, 0
+	for seed := uint64(10); seed < 16; seed++ {
+		in := genInstance(t, 12, 100, 6, seed)
+		a, err := RandomAssignment(in, 3, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		even, err := Compete(in, a, EvenSplit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		draft, err := Compete(in, a, Draft)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if draft.SystemLatencyMs <= even.SystemLatencyMs+1e-9 {
+			better++
+		} else {
+			worse++
+		}
+	}
+	if worse > better {
+		t.Errorf("draft worse than even split in %d of %d rounds", worse, better+worse)
+	}
+}
+
+func TestCompeteValidation(t *testing.T) {
+	in := genInstance(t, 8, 40, 4, 7)
+	if _, err := Compete(in, nil, EvenSplit); err == nil {
+		t.Error("nil assignment accepted")
+	}
+	a, _ := RandomAssignment(in, 2, rng.New(8))
+	a.UserOwner[0] = 9
+	if _, err := Compete(in, a, EvenSplit); err == nil {
+		t.Error("bad owner accepted")
+	}
+	b, _ := RandomAssignment(in, 2, rng.New(8))
+	if _, err := Compete(in, b, SplitPolicy(42)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if EvenSplit.String() != "even-split" || Proportional.String() != "proportional" || Draft.String() != "draft" {
+		t.Error("policy strings wrong")
+	}
+	if SplitPolicy(9).String() == "" {
+		t.Error("unknown policy string empty")
+	}
+}

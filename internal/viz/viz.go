@@ -1,0 +1,168 @@
+// Package viz renders the evaluation's figures as plain-text charts so
+// the CLI tools can show a figure's *shape* directly in the terminal —
+// no plotting stack required. Line plots cover Figures 3–6, bar charts
+// Figures 1 and 7, and sparklines decorate tables.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labeled line of a plot.
+type Series struct {
+	Label string
+	Y     []float64
+}
+
+// markers distinguish series in a line plot, in legend order.
+var markers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// LinePlot renders series sharing the x axis into a width×height
+// character grid with y-axis labels and a legend. Non-finite values are
+// skipped. It panics if a series length differs from len(xs).
+func LinePlot(title, xLabel string, xs []float64, series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	for _, s := range series {
+		if len(s.Y) != len(xs) {
+			panic(fmt.Sprintf("viz: series %q has %d points for %d x values", s.Label, len(s.Y), len(xs)))
+		}
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Y {
+			if !finite(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) { // nothing plottable
+		lo, hi = 0, 1
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	xAt := func(i int) int {
+		if len(xs) == 1 {
+			return 0
+		}
+		return int(math.Round(float64(i) / float64(len(xs)-1) * float64(width-1)))
+	}
+	yAt := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		return (height - 1) - int(math.Round(frac*float64(height-1)))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i, v := range s.Y {
+			if !finite(v) {
+				continue
+			}
+			grid[yAt(v)][xAt(i)] = m
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	yLab := func(row int) string {
+		frac := float64(height-1-row) / float64(height-1)
+		return fmt.Sprintf("%10.2f", lo+frac*(hi-lo))
+	}
+	for r := 0; r < height; r++ {
+		fmt.Fprintf(&b, "%s |%s|\n", yLab(r), string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%10s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-*g%*g  (%s)\n", "", width/2, xs[0], width-width/2, xs[len(xs)-1], xLabel)
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Label))
+	}
+	fmt.Fprintf(&b, "%10s  %s\n", "", strings.Join(legend, "   "))
+	return b.String()
+}
+
+// BarChart renders one bar per label, scaled to width characters.
+// Negative and non-finite values render as empty bars.
+func BarChart(title string, labels []string, values []float64, width int) string {
+	if len(labels) != len(values) {
+		panic(fmt.Sprintf("viz: %d labels for %d values", len(labels), len(values)))
+	}
+	if width < 8 {
+		width = 8
+	}
+	maxV := 0.0
+	labW := 0
+	for i, v := range values {
+		if finite(v) && v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > labW {
+			labW = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, v := range values {
+		n := 0
+		if maxV > 0 && finite(v) && v > 0 {
+			n = int(math.Round(v / maxV * float64(width)))
+		}
+		fmt.Fprintf(&b, "%-*s |%-*s| %.4g\n", labW, labels[i], width, strings.Repeat("█", n), v)
+	}
+	return b.String()
+}
+
+// sparkRunes are eight fill levels.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a compact bar string; empty input yields
+// an empty string, non-finite values render as spaces.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if finite(v) {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return strings.Repeat(" ", len(values))
+	}
+	out := make([]rune, len(values))
+	for i, v := range values {
+		if !finite(v) {
+			out[i] = ' '
+			continue
+		}
+		frac := 1.0
+		if hi > lo {
+			frac = (v - lo) / (hi - lo)
+		}
+		idx := int(frac * float64(len(sparkRunes)-1))
+		out[i] = sparkRunes[idx]
+	}
+	return string(out)
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,131 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLinePlotBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	out := LinePlot("test plot", "N", xs, []Series{
+		{Label: "up", Y: []float64{1, 2, 3, 4}},
+		{Label: "down", Y: []float64{4, 3, 2, 1}},
+	}, 40, 10)
+	if !strings.Contains(out, "test plot") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "(N)") {
+		t.Error("x label missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + axis + xlabels + legend
+	if len(lines) != 1+10+3 {
+		t.Errorf("line count = %d", len(lines))
+	}
+	// The increasing series puts a '*' in the top row (max) and the
+	// decreasing an 'o' there too (its max is at x=0).
+	top := lines[1]
+	if !strings.Contains(top, "*") || !strings.Contains(top, "o") {
+		t.Errorf("top row missing extremes: %q", top)
+	}
+}
+
+func TestLinePlotMonotoneGeometry(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	ys := []float64{0, 1, 2, 3, 4, 5}
+	out := LinePlot("", "x", xs, []Series{{Label: "s", Y: ys}}, 30, 8)
+	lines := strings.Split(out, "\n")
+	// For an increasing series, marker columns must increase with row
+	// depth reversed: find per-row marker column.
+	prevCol := 1 << 30
+	for _, ln := range lines[:8] {
+		idx := strings.IndexRune(ln, '*')
+		if idx < 0 {
+			continue
+		}
+		if idx >= prevCol {
+			t.Fatalf("increasing series not monotone in plot:\n%s", out)
+		}
+		prevCol = idx
+	}
+}
+
+func TestLinePlotHandlesDegenerates(t *testing.T) {
+	// Constant series, NaN and Inf values must not panic.
+	out := LinePlot("", "x", []float64{1, 2, 3}, []Series{
+		{Label: "const", Y: []float64{5, 5, 5}},
+		{Label: "bad", Y: []float64{math.NaN(), math.Inf(1), 5}},
+	}, 20, 5)
+	if out == "" {
+		t.Fatal("empty output")
+	}
+	// Single point.
+	if LinePlot("", "x", []float64{1}, []Series{{Label: "p", Y: []float64{2}}}, 16, 4) == "" {
+		t.Fatal("single point failed")
+	}
+	// All-NaN series.
+	if LinePlot("", "x", []float64{1, 2}, []Series{{Label: "n", Y: []float64{math.NaN(), math.NaN()}}}, 16, 4) == "" {
+		t.Fatal("all-NaN failed")
+	}
+}
+
+func TestLinePlotPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	LinePlot("", "x", []float64{1, 2}, []Series{{Label: "s", Y: []float64{1}}}, 20, 5)
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("times", []string{"IDDE-IP", "IDDE-G"}, []float64{1.0, 0.5}, 20)
+	if !strings.Contains(out, "times") || !strings.Contains(out, "IDDE-IP") {
+		t.Error("labels missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	barLen := func(s string) int { return strings.Count(s, "█") }
+	if barLen(lines[1]) != 20 {
+		t.Errorf("max bar = %d, want 20", barLen(lines[1]))
+	}
+	if barLen(lines[2]) != 10 {
+		t.Errorf("half bar = %d, want 10", barLen(lines[2]))
+	}
+}
+
+func TestBarChartDegenerates(t *testing.T) {
+	out := BarChart("", []string{"a", "b"}, []float64{0, math.NaN()}, 10)
+	if strings.Count(out, "█") != 0 {
+		t.Error("zero/NaN values drew bars")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on mismatch")
+		}
+	}()
+	BarChart("", []string{"a"}, []float64{1, 2}, 10)
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("length = %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("extremes wrong: %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty input should yield empty string")
+	}
+	if got := Sparkline([]float64{5, 5}); got != "██" {
+		t.Errorf("constant sparkline = %q", got)
+	}
+	if got := Sparkline([]float64{math.NaN(), 1}); []rune(got)[0] != ' ' {
+		t.Errorf("NaN sparkline = %q", got)
+	}
+}

@@ -1,0 +1,123 @@
+package idde
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFullLifecycle drives the public API through the whole story a
+// production adopter would live: build a scenario, race the approaches,
+// deploy the winner, tune power, persist the strategy, survive a server
+// failure, validate under burst load, and follow the crowd through a
+// mobility epoch — one integration test across every subsystem.
+func TestFullLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lifecycle test skipped in -short")
+	}
+	sc, err := NewScenario(ScenarioConfig{
+		Servers: 18, Users: 140, DataItems: 5, Seed: 99,
+		IPBudget: 50e6, // 50ms
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. Race all five approaches; the paper's winner must win here too.
+	sts, err := sc.Compare(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var winner *Strategy
+	for _, st := range sts {
+		if st.Approach == IDDEG {
+			winner = st
+		}
+	}
+	for _, st := range sts {
+		if st.Approach == IDDEG {
+			continue
+		}
+		if winner.AvgRateMBps < st.AvgRateMBps || winner.AvgLatencyMs > st.AvgLatencyMs {
+			t.Fatalf("IDDE-G did not dominate %s: rate %v vs %v, lat %v vs %v",
+				st.Approach, winner.AvgRateMBps, st.AvgRateMBps, winner.AvgLatencyMs, st.AvgLatencyMs)
+		}
+	}
+
+	// 2. Power-control pass: free rate.
+	pr, err := sc.TunePower(winner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.AvgRateAfterMBps < pr.AvgRateBeforeMBps-1e-9 {
+		t.Fatal("power pass regressed rates")
+	}
+
+	// 3. Persist and reload the deployment artifact.
+	var buf bytes.Buffer
+	if err := winner.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := sc.LoadStrategy(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.AvgLatencyMs != winner.AvgLatencyMs {
+		t.Fatal("reloaded strategy changed latency")
+	}
+
+	// 4. Validate under a synchronized burst on the simulator.
+	burst := sc.Simulate(reloaded, 0, 1)
+	if burst.AvgLatencyMs < burst.AnalyticAvgMs-1e-9 {
+		t.Fatal("burst beat the analytic bound")
+	}
+
+	// 5. Kill the busiest server and repair.
+	busiest, busiestCount := 0, -1
+	counts := make(map[int]int)
+	for j := 0; j < sc.Users(); j++ {
+		if s, _, ok := reloaded.Assignment(j); ok {
+			counts[s]++
+			if counts[s] > busiestCount {
+				busiest, busiestCount = s, counts[s]
+			}
+		}
+	}
+	degraded, repaired, rep, err := sc.InjectFailure(reloaded, busiest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DisplacedUsers != busiestCount {
+		t.Fatalf("displaced %d, expected %d", rep.DisplacedUsers, busiestCount)
+	}
+	if repaired.AvgRateMBps <= 0 {
+		t.Fatal("repaired system dead")
+	}
+
+	// 6. The degraded scenario still formulates fresh strategies.
+	fresh, err := degraded.Solve(IDDEG, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A from-scratch re-solve on the degraded system should do at least
+	// roughly as well as the incremental repair.
+	if fresh.AvgRateMBps < repaired.AvgRateMBps*0.9 {
+		t.Fatalf("fresh solve (%v) far below repair (%v)?", fresh.AvgRateMBps, repaired.AvgRateMBps)
+	}
+
+	// 7. Crowd moves on: one mobility window over the degraded system.
+	eps, err := degraded.SimulateMobility(MobilityConfig{
+		Epochs: 2, EpochSeconds: 60, SpeedMps: [2]float64{1, 2},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 3 || eps[2].RateMBps <= 0 {
+		t.Fatalf("mobility epochs malformed: %+v", eps)
+	}
+
+	// 8. Observability: the inspection report covers the repaired state.
+	report := Inspect(degraded, repaired)
+	if report == "" {
+		t.Fatal("empty inspection report")
+	}
+}

@@ -1,0 +1,89 @@
+package idde
+
+import (
+	"fmt"
+
+	"idde/internal/mobility"
+	"idde/internal/model"
+	"idde/internal/rng"
+)
+
+// MobilityConfig parametrizes an epoch-based mobility simulation — the
+// paper's future-work scenario of moving users and migrating data.
+type MobilityConfig struct {
+	// Epochs after the initial formulation (default 10).
+	Epochs int
+	// EpochSeconds is the epoch wall-clock length (default 60).
+	EpochSeconds float64
+	// SpeedMps is the [min,max] user speed (default pedestrian
+	// [0.5,2.0]).
+	SpeedMps [2]float64
+	// PauseProb is the chance a user rests for an epoch (default 0.2).
+	PauseProb float64
+	// StickyDelivery freezes the delivery profile after epoch 0,
+	// trading latency for zero migration traffic.
+	StickyDelivery bool
+	// Approach re-formulates the strategy each epoch (default IDDE-G).
+	Approach ApproachName
+}
+
+// MobilityEpoch reports one epoch of a mobility simulation.
+type MobilityEpoch struct {
+	Epoch            int
+	RateMBps         float64
+	LatencyMs        float64
+	Handover         int
+	Uncovered        int
+	MigratedMB       float64
+	MigrationSeconds float64
+	Replicas         int
+}
+
+// SimulateMobility moves the scenario's users under a random-waypoint
+// model, re-formulating the strategy each epoch and accounting for the
+// data migration between consecutive delivery profiles.
+func (sc *Scenario) SimulateMobility(cfg MobilityConfig, seed uint64) ([]MobilityEpoch, error) {
+	mc := mobility.DefaultConfig()
+	if cfg.Epochs > 0 {
+		mc.Epochs = cfg.Epochs
+	}
+	if cfg.EpochSeconds > 0 {
+		mc.EpochSeconds = cfg.EpochSeconds
+	}
+	if cfg.SpeedMps[1] > 0 {
+		mc.Speed = cfg.SpeedMps
+	}
+	if cfg.PauseProb > 0 {
+		mc.Pause = cfg.PauseProb
+	}
+	mc.StickyDelivery = cfg.StickyDelivery
+
+	name := cfg.Approach
+	if name == "" {
+		name = IDDEG
+	}
+	ap, err := sc.approach(name)
+	if err != nil {
+		return nil, err
+	}
+	solve := func(in *model.Instance) model.Strategy { return ap.Solve(in, seed) }
+
+	eps, err := mobility.Simulate(sc.in.Top, sc.in.Wl, solve, mc, rng.New(seed))
+	if err != nil {
+		return nil, fmt.Errorf("idde: mobility simulation: %w", err)
+	}
+	out := make([]MobilityEpoch, len(eps))
+	for i, e := range eps {
+		out[i] = MobilityEpoch{
+			Epoch:            e.Epoch,
+			RateMBps:         e.RateMBps,
+			LatencyMs:        e.LatencyMs,
+			Handover:         e.Handover,
+			Uncovered:        e.Uncovered,
+			MigratedMB:       e.MigratedMB,
+			MigrationSeconds: e.MigrationSeconds,
+			Replicas:         e.Replicas,
+		}
+	}
+	return out, nil
+}
