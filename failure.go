@@ -8,7 +8,11 @@ import (
 
 // FailureReport accounts for an injected server failure and its repair.
 type FailureReport struct {
+	// FailedServer is the failed server's id, or -1 when the report
+	// covers a compound (multi-server) failure; FailedCount is the
+	// number of servers taken down by the injection.
 	FailedServer     int
+	FailedCount      int
 	DisplacedUsers   int
 	StrandedUsers    int
 	LostReplicas     int
@@ -46,6 +50,49 @@ func (sc *Scenario) InjectFailure(st *Strategy, server int) (*Scenario, *Strateg
 	}
 	report := &FailureReport{
 		FailedServer:     rep.FailedServer,
+		FailedCount:      rep.FailedCount,
+		DisplacedUsers:   rep.DisplacedUsers,
+		StrandedUsers:    rep.StrandedUsers,
+		LostReplicas:     rep.LostReplicas,
+		ReplacedReplicas: rep.ReplacedReplicas,
+		Moves:            rep.Moves,
+		RateBeforeMBps:   float64(rep.RateBefore),
+		RateAfterMBps:    float64(rep.RateAfter),
+		LatencyBeforeMs:  rep.LatencyBefore.Millis(),
+		LatencyAfterMs:   rep.LatencyAfter.Millis(),
+	}
+	return degraded, out, report, nil
+}
+
+// InjectFailures kills several edge servers at once — a correlated
+// failure — and repairs the strategy against the compound degradation.
+// The semantics match InjectFailure applied atomically: users, replicas
+// and wired links of every listed server go down together, and the
+// repair sees the final degraded topology rather than each intermediate
+// one. The returned report has FailedServer = -1 and FailedCount set.
+func (sc *Scenario) InjectFailures(st *Strategy, servers []int) (*Scenario, *Strategy, *FailureReport, error) {
+	if st == nil || st.sc != sc {
+		return nil, nil, nil, fmt.Errorf("idde: strategy does not belong to this scenario")
+	}
+	degIn, err := repair.FailServers(sc.in, servers)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	degraded := &Scenario{in: degIn, ipBudget: sc.ipBudget}
+	repaired, rep, err := repair.RepairDegraded(sc.in, degIn, st.raw, repair.Options{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	out := &Strategy{
+		Approach:     st.Approach,
+		AvgRateMBps:  float64(rep.RateAfter),
+		AvgLatencyMs: rep.LatencyAfter.Millis(),
+		raw:          repaired,
+		sc:           degraded,
+	}
+	report := &FailureReport{
+		FailedServer:     rep.FailedServer,
+		FailedCount:      rep.FailedCount,
 		DisplacedUsers:   rep.DisplacedUsers,
 		StrandedUsers:    rep.StrandedUsers,
 		LostReplicas:     rep.LostReplicas,

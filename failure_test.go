@@ -1,0 +1,151 @@
+package idde
+
+import (
+	"math"
+	"testing"
+)
+
+// Sequential failure injection: each InjectFailure returns a degraded
+// scenario whose own strategies must support further injections, all
+// the way down to the last surviving server.
+func TestInjectFailureSequential(t *testing.T) {
+	sc := testScenario(t, 31)
+	st, _, err := sc.SolveIDDEG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, curSt := sc, st
+	for f := 0; f < 4; f++ {
+		deg, rep, frep, err := cur.InjectFailure(curSt, f)
+		if err != nil {
+			t.Fatalf("failure %d: %v", f, err)
+		}
+		if frep.FailedServer != f || frep.FailedCount != 1 {
+			t.Fatalf("failure %d reported as server %d count %d", f, frep.FailedServer, frep.FailedCount)
+		}
+		if rep.AvgLatencyMs < 0 || math.IsNaN(rep.AvgLatencyMs) {
+			t.Fatalf("failure %d: degenerate latency %v", f, rep.AvgLatencyMs)
+		}
+		// The repaired strategy must belong to the degraded scenario: a
+		// re-injection through the OLD scenario must be rejected...
+		if _, _, _, err := cur.InjectFailure(rep, f+1); err == nil {
+			t.Fatal("repaired strategy accepted by the pre-failure scenario")
+		}
+		// ...and the already-failed server must be rejected too.
+		if _, _, _, err := deg.InjectFailure(rep, f); err == nil {
+			t.Fatalf("server %d accepted for a second failure", f)
+		}
+		cur, curSt = deg, rep
+	}
+	// After four sequential failures the survivors still simulate.
+	sim := cur.Simulate(curSt, 5, 1)
+	if sim.Events == 0 || math.IsNaN(sim.AvgLatencyMs) {
+		t.Errorf("post-failure simulation degenerate: %+v", sim)
+	}
+}
+
+func TestInjectFailuresCorrelated(t *testing.T) {
+	sc := testScenario(t, 33)
+	st, err := sc.Solve(IDDEG, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg, rep, frep, err := sc.InjectFailures(st, []int{2, 5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frep.FailedServer != -1 || frep.FailedCount != 3 {
+		t.Errorf("compound failure reported as server %d count %d", frep.FailedServer, frep.FailedCount)
+	}
+	if frep.RateAfterMBps > frep.RateBeforeMBps+1e-9 {
+		t.Errorf("rate improved after triple failure: %v -> %v", frep.RateBeforeMBps, frep.RateAfterMBps)
+	}
+	if rep.AvgRateMBps != frep.RateAfterMBps {
+		t.Errorf("strategy rate %v != report rate %v", rep.AvgRateMBps, frep.RateAfterMBps)
+	}
+	// Validation: duplicate, out-of-range, empty and wrong-scenario.
+	if _, _, _, err := sc.InjectFailures(st, []int{1, 1}); err == nil {
+		t.Error("duplicate server accepted")
+	}
+	if _, _, _, err := sc.InjectFailures(st, []int{99}); err == nil {
+		t.Error("out-of-range server accepted")
+	}
+	if _, _, _, err := deg.InjectFailures(st, []int{0}); err == nil {
+		t.Error("foreign strategy accepted")
+	}
+	// Further single injection on the compound-degraded scenario works.
+	if _, _, _, err := deg.InjectFailure(rep, 0); err != nil {
+		t.Errorf("injection after compound failure: %v", err)
+	}
+}
+
+func TestSimulateUnreliablePublic(t *testing.T) {
+	sc := testScenario(t, 35)
+	st, err := sc.Solve(IDDEG, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := sc.Simulate(st, 5, 3)
+	zero := sc.SimulateUnreliable(st, 5, FaultProfile{}, 3)
+	if zero.AvgLatencyMs != rel.AvgLatencyMs || zero.Retries != 0 {
+		t.Errorf("zero-fault profile diverges from Simulate: %v vs %v", zero.AvgLatencyMs, rel.AvgLatencyMs)
+	}
+	f := FaultProfile{LinkLossProb: 0.2, StallProb: 0.05, StallMs: 10}
+	a := sc.SimulateUnreliable(st, 5, f, 3)
+	b := sc.SimulateUnreliable(st, 5, f, 3)
+	if a.Retries != b.Retries || a.AvgLatencyMs != b.AvgLatencyMs || a.Failovers != b.Failovers {
+		t.Errorf("same seed diverges: %+v vs %+v", a, b)
+	}
+	if a.Retries == 0 && a.Stalls == 0 {
+		t.Error("20% loss + 5% stall produced no recorded faults")
+	}
+	if a.AvgLatencyMs < rel.AvgLatencyMs-1e-9 {
+		t.Errorf("lossy latency %v below reliable %v", a.AvgLatencyMs, rel.AvgLatencyMs)
+	}
+	if math.IsNaN(a.AvgLatencyMs) || math.IsInf(a.AvgLatencyMs, 0) {
+		t.Errorf("degenerate lossy latency %v", a.AvgLatencyMs)
+	}
+}
+
+func TestChaosSweepPublic(t *testing.T) {
+	sc := testScenario(t, 37)
+	st, err := sc.Solve(IDDEG, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ChaosConfig{
+		Campaigns:     4,
+		ClusterSize:   3,
+		OutageSeconds: 60,
+		LinkCuts:      1,
+		Faults:        FaultProfile{LinkLossProb: 0.15},
+		SpreadSeconds: 2,
+		Seed:          99,
+	}
+	sum, err := sc.ChaosSweep(st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Campaigns != 4 {
+		t.Errorf("campaigns = %d", sum.Campaigns)
+	}
+	if sum.LatencyInflation.Mean < 1 {
+		t.Errorf("mean latency inflation %v < 1 under loss", sum.LatencyInflation.Mean)
+	}
+	if sum.StrandedFrac.Max < 0 || sum.StrandedFrac.Max > 1 {
+		t.Errorf("stranded fraction %v outside [0,1]", sum.StrandedFrac.Max)
+	}
+	if len(sum.Markdown) == 0 || len(sum.JSON) == 0 {
+		t.Error("renderings empty")
+	}
+	sum2, err := sc.ChaosSweep(st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.JSON != sum2.JSON {
+		t.Error("identical configs produced different sweeps")
+	}
+	if _, err := sc.ChaosSweep(nil, cfg); err == nil {
+		t.Error("nil strategy accepted")
+	}
+}

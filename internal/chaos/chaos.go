@@ -1,0 +1,174 @@
+// Package chaos turns the one-shot failure injection of internal/repair
+// into seeded, scriptable failure campaigns: correlated multi-server
+// outages (spatially clustered, as a real power or backhaul failure
+// would be), wired-link cuts, transient outages with timed recovery,
+// and cloud-ingress brownouts, all replayed against a strategy through
+// repair and the discrete-event simulator's unreliable-transfer mode.
+//
+// The paper motivates edge storage as the answer to the cloud's
+// "single-point failures" (§1); this package makes that robustness
+// claim measurable *during* degradation, not just after repair. A
+// Campaign is a timeline of fault events; the runner slices it into
+// epochs of constant fault state, degrades the instance, repairs the
+// strategy incrementally epoch over epoch (including re-admission when
+// servers recover), executes the workload on the DES with per-link
+// loss and retry/backoff/failover semantics, and reports
+// availability-style metrics against the healthy baseline. A
+// Monte-Carlo sweep aggregates many seeded campaigns into summary
+// statistics. Identical seeds reproduce identical reports bit-for-bit.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"idde/internal/des"
+	"idde/internal/model"
+	"idde/internal/repair"
+	"idde/internal/units"
+)
+
+// Kind is the type of a fault event.
+type Kind int
+
+const (
+	// ServerOutage takes a set of servers down: their users, replicas
+	// and wired links go with them.
+	ServerOutage Kind = iota
+	// LinkCut severs one wired inter-server link without killing its
+	// endpoints (a backhaul fibre cut).
+	LinkCut
+	// CloudBrownout scales the cloud-ingress rate by Factor — the
+	// uplink degrades but still delivers.
+	CloudBrownout
+)
+
+func (k Kind) String() string {
+	switch k {
+	case ServerOutage:
+		return "server-outage"
+	case LinkCut:
+		return "link-cut"
+	case CloudBrownout:
+		return "cloud-brownout"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one timed fault in a campaign script.
+type Event struct {
+	// At is when the fault strikes.
+	At units.Seconds `json:"at"`
+	// Duration is how long it lasts; 0 means permanent for the rest of
+	// the campaign.
+	Duration units.Seconds `json:"duration,omitempty"`
+	Kind     Kind          `json:"kind"`
+	// Servers are the ServerOutage targets.
+	Servers []int `json:"servers,omitempty"`
+	// Link is the LinkCut target.
+	Link [2]int `json:"link,omitempty"`
+	// Factor is the CloudBrownout rate multiplier, in (0,1).
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// active reports whether the event is in force at time t.
+func (e Event) active(t units.Seconds) bool {
+	if t < e.At {
+		return false
+	}
+	return e.Duration <= 0 || t < e.At+e.Duration
+}
+
+// Campaign is a seeded, scriptable failure schedule, plus the
+// link-level fault model in force while it runs.
+type Campaign struct {
+	Name   string  `json:"name"`
+	Events []Event `json:"events"`
+	// Faults is the unreliable-transfer configuration the DES uses
+	// while replaying the campaign (zero value = reliable transfers).
+	Faults des.Faults `json:"faults"`
+}
+
+// Validate checks the campaign against an instance.
+func (c *Campaign) Validate(in *model.Instance) error {
+	for ei, e := range c.Events {
+		if e.At < 0 {
+			return fmt.Errorf("chaos: event %d strikes at negative time %v", ei, e.At)
+		}
+		if e.Duration < 0 {
+			return fmt.Errorf("chaos: event %d has negative duration", ei)
+		}
+		switch e.Kind {
+		case ServerOutage:
+			if len(e.Servers) == 0 {
+				return fmt.Errorf("chaos: event %d is a server outage with no servers", ei)
+			}
+			for _, f := range e.Servers {
+				if f < 0 || f >= in.N() {
+					return fmt.Errorf("chaos: event %d targets unknown server %d", ei, f)
+				}
+			}
+		case LinkCut:
+			u, v := e.Link[0], e.Link[1]
+			if u < 0 || u >= in.N() || v < 0 || v >= in.N() || u == v {
+				return fmt.Errorf("chaos: event %d cuts invalid link (%d,%d)", ei, u, v)
+			}
+		case CloudBrownout:
+			if e.Factor <= 0 || e.Factor >= 1 {
+				return fmt.Errorf("chaos: event %d brownout factor %g outside (0,1)", ei, e.Factor)
+			}
+		default:
+			return fmt.Errorf("chaos: event %d has unknown kind %d", ei, int(e.Kind))
+		}
+	}
+	return nil
+}
+
+// epochs returns the sorted, deduplicated boundary times at which the
+// campaign's fault state changes, always starting at 0.
+func (c *Campaign) epochs() []units.Seconds {
+	set := map[units.Seconds]bool{0: true}
+	for _, e := range c.Events {
+		set[e.At] = true
+		if e.Duration > 0 {
+			set[e.At+e.Duration] = true
+		}
+	}
+	out := make([]units.Seconds, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// degradationAt assembles the instantaneous fault state at time t: the
+// union of failed servers and cut links across active events, and the
+// most severe active brownout.
+func (c *Campaign) degradationAt(t units.Seconds) repair.Degradation {
+	var d repair.Degradation
+	failed := map[int]bool{}
+	for _, e := range c.Events {
+		if !e.active(t) {
+			continue
+		}
+		switch e.Kind {
+		case ServerOutage:
+			for _, f := range e.Servers {
+				if !failed[f] {
+					failed[f] = true
+					d.FailedServers = append(d.FailedServers, f)
+				}
+			}
+		case LinkCut:
+			d.CutLinks = append(d.CutLinks, e.Link)
+		case CloudBrownout:
+			if d.CloudFactor == 0 || e.Factor < d.CloudFactor {
+				d.CloudFactor = e.Factor
+			}
+		}
+	}
+	sort.Ints(d.FailedServers)
+	return d
+}

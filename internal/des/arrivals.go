@@ -113,7 +113,7 @@ func (d Diurnal) Times(n int, s *rng.Stream) []units.Seconds {
 // See SimulateStrategy for the delivery semantics.
 func SimulateWithArrivals(in *model.Instance, st model.Strategy, am ArrivalModel, s *rng.Stream) *Report {
 	arr := am.Times(countRequests(in), s.Split("arrivals"))
-	return simulate(in, st, arr, s.Split("order"))
+	return simulate(in, st, arr, s.Split("order"), nil, nil)
 }
 
 // sortedCopy returns the arrival times ascending (test helper exported

@@ -53,6 +53,18 @@ type Report struct {
 	CloudRequests int
 	// Events is the number of simulation events executed.
 	Events int
+	// Retries counts lost hop attempts that were re-sent (unreliable
+	// mode only).
+	Retries int
+	// Failovers counts sources abandoned after a hop exhausted its
+	// retry budget; the request restarted from the next-best replica
+	// or the cloud.
+	Failovers int
+	// CloudFallbacks counts requests that began on an edge source and
+	// ended up served by the cloud after exhausting every edge source.
+	CloudFallbacks int
+	// Stalls counts hop attempts that hit a stall.
+	Stalls int
 	// net retains the contention state for utilization queries.
 	net *Network
 	// makespan is the completion time of the last transfer.
@@ -127,12 +139,25 @@ func countRequests(in *model.Instance) int {
 // the stream.
 func SimulateStrategy(in *model.Instance, st model.Strategy, spread units.Seconds, s *rng.Stream) *Report {
 	arrivals := Uniform{Window: spread}.Times(countRequests(in), s.Split("arrivals"))
-	return simulate(in, st, arrivals, s.Split("order"))
+	return simulate(in, st, arrivals, s.Split("order"), nil, nil)
+}
+
+// SimulateStrategyFaulty is SimulateStrategy in the unreliable-transfer
+// mode: wired hops are lost with f.LossProb, stalled with f.StallProb,
+// retried with exponential backoff and failed over per Eq. 8 when a
+// hop's retry budget is exhausted. All fault draws come from a
+// dedicated split of the stream, so a given seed reproduces the exact
+// same degradation bit-for-bit.
+func SimulateStrategyFaulty(in *model.Instance, st model.Strategy, spread units.Seconds, f Faults, s *rng.Stream) *Report {
+	arrivals := Uniform{Window: spread}.Times(countRequests(in), s.Split("arrivals"))
+	nf := f.normalized()
+	return simulate(in, st, arrivals, s.Split("order"), &nf, s.Split("faults"))
 }
 
 // simulate executes the workload's transfers with the given per-request
-// arrival offsets (workload request order).
-func simulate(in *model.Instance, st model.Strategy, arrivals []units.Seconds, s *rng.Stream) *Report {
+// arrival offsets (workload request order). A nil faults config runs
+// the reliable mode.
+func simulate(in *model.Instance, st model.Strategy, arrivals []units.Seconds, s *rng.Stream, faults *Faults, fs *rng.Stream) *Report {
 	net := NewNetwork(in)
 	sim := &Sim{}
 	rep := &Report{AnalyticAvg: in.AvgLatencyMode(st.Alloc, st.Delivery, st.Mode)}
@@ -162,7 +187,12 @@ func simulate(in *model.Instance, st model.Strategy, arrivals []units.Seconds, s
 		at := arrivals[oi]
 		j, k, idx := r.j, r.k, r.idx
 		sim.Schedule(at, func() {
-			n := net
+			if faults != nil {
+				x := &xfer{sim: sim, net: net, rep: rep, in: in, st: st,
+					f: faults, s: fs, j: j, k: k, idx: idx, start: sim.Now()}
+				x.launch()
+				return
+			}
 			src, viaEdge := servingReplica(in, st, j, k)
 			if !viaEdge {
 				rep.CloudRequests++
@@ -170,7 +200,7 @@ func simulate(in *model.Instance, st model.Strategy, arrivals []units.Seconds, s
 				if a := st.Alloc[j]; a.Allocated() {
 					target = a.Server
 				}
-				done := n.cloud[target].Acquire(sim.Now(), in.Wl.Items[k].Size)
+				done := net.cloud[target].Acquire(sim.Now(), in.Wl.Items[k].Size)
 				start := sim.Now()
 				sim.Schedule(done, func() { rep.PerRequest[idx] = sim.Now() - start })
 				return
@@ -188,7 +218,7 @@ func simulate(in *model.Instance, st model.Strategy, arrivals []units.Seconds, s
 				path = []int{src}
 			}
 			start := sim.Now()
-			forwardHop(sim, n, rep, idx, path, 0, in.Wl.Items[k].Size, start)
+			forwardHop(sim, net, rep, idx, path, 0, in.Wl.Items[k].Size, start)
 		})
 	}
 	rep.makespan = sim.Run()
@@ -220,41 +250,117 @@ func forwardHop(sim *Sim, n *Network, rep *Report, idx int, path []int, i int, s
 	sim.Schedule(done, func() { forwardHop(sim, n, rep, idx, path, i+1, size, start) })
 }
 
+// xfer is one request's transfer under the unreliable mode: a state
+// machine over (source, hop, attempt) that retries lost hops with
+// exponential backoff and fails over to the next-best replica — then
+// the cloud — when a hop exhausts its budget.
+type xfer struct {
+	sim   *Sim
+	net   *Network
+	rep   *Report
+	in    *model.Instance
+	st    model.Strategy
+	f     *Faults
+	s     *rng.Stream
+	j, k  int
+	idx   int
+	start units.Seconds
+	// tried marks edge sources abandoned after retry exhaustion.
+	tried map[int]bool
+}
+
+func (x *xfer) size() units.MegaBytes { return x.in.Wl.Items[x.k].Size }
+
+// launch resolves the best remaining source per Eq. 8 and starts (or
+// restarts, after a failover) the transfer.
+func (x *xfer) launch() {
+	skip := func(o int) bool { return x.tried[o] }
+	src, viaEdge := x.in.BestSource(x.st.Alloc, x.st.Delivery, x.j, x.k, x.st.Mode, skip)
+	if !viaEdge {
+		if len(x.tried) > 0 {
+			x.rep.CloudFallbacks++
+		}
+		x.cloud()
+		return
+	}
+	if x.st.Mode != model.Collaborative {
+		// Over-the-air delivery from a covering holder: the wired
+		// fault model does not apply.
+		x.rep.PerRequest[x.idx] = x.sim.Now() - x.start
+		return
+	}
+	dst := x.st.Alloc[x.j].Server
+	path, _, ok := x.in.Top.Net.ShortestPath(src, dst)
+	if !ok {
+		path = []int{src}
+	}
+	x.hop(src, path, 0, 0)
+}
+
+// cloud serves the request from the cloud ingress (reliable; brownouts
+// degrade its rate, not its delivery).
+func (x *xfer) cloud() {
+	x.rep.CloudRequests++
+	target := 0
+	if a := x.st.Alloc[x.j]; a.Allocated() {
+		target = a.Server
+	}
+	done := x.net.cloud[target].Acquire(x.sim.Now(), x.size())
+	x.sim.Schedule(done, func() { x.rep.PerRequest[x.idx] = x.sim.Now() - x.start })
+}
+
+// hop attempts the transfer across path[i]→path[i+1]. The attempt
+// occupies the link for the full service time; loss is detected at the
+// end (as a checksum failure would be), so lost attempts still congest
+// the link — exactly why loss storms inflate latency system-wide.
+func (x *xfer) hop(src int, path []int, i, attempt int) {
+	if i+1 >= len(path) {
+		x.rep.PerRequest[x.idx] = x.sim.Now() - x.start
+		return
+	}
+	res := x.net.link(path[i], path[i+1])
+	if res == nil {
+		// The link is gone under this degradation: abandon the source
+		// immediately, as a router would on an unreachable next hop.
+		x.abandon(src)
+		return
+	}
+	done := res.Acquire(x.sim.Now(), x.size())
+	if x.f.StallProb > 0 && x.s.Bool(x.f.StallProb) {
+		x.rep.Stalls++
+		done += x.f.StallTime
+	}
+	lost := x.s.Bool(x.f.LossProb)
+	x.sim.Schedule(done, func() {
+		if !lost {
+			x.hop(src, path, i+1, 0)
+			return
+		}
+		x.rep.Retries++
+		if attempt < x.f.MaxRetries {
+			retryAt := x.sim.Now() + x.f.retryDelay(attempt)
+			x.sim.Schedule(retryAt, func() { x.hop(src, path, i, attempt+1) })
+			return
+		}
+		x.abandon(src)
+	})
+}
+
+// abandon marks the source exhausted and fails over.
+func (x *xfer) abandon(src int) {
+	x.rep.Failovers++
+	if x.tried == nil {
+		x.tried = make(map[int]bool)
+	}
+	x.tried[src] = true
+	x.launch()
+}
+
 // servingReplica resolves Eq. 8's argmin for request (j,k) under the
 // strategy's delivery mode: the edge server the item is fetched from,
 // or viaEdge=false for the cloud.
 func servingReplica(in *model.Instance, st model.Strategy, j, k int) (src int, viaEdge bool) {
-	a := st.Alloc[j]
-	if !a.Allocated() {
-		return -1, false
-	}
-	best := in.CloudLatency(k)
-	src = -1
-	switch st.Mode {
-	case model.Collaborative:
-		for o := 0; o < in.N(); o++ {
-			if st.Delivery.Placed(o, k) {
-				if l := in.EdgeLatency(k, o, a.Server); l < best || (src < 0 && l <= best) {
-					best = l
-					src = o
-				}
-			}
-		}
-	case model.CoverageLocal:
-		for _, o := range in.Top.Coverage[j] {
-			if st.Delivery.Placed(o, k) {
-				return o, true
-			}
-		}
-	case model.ServerLocal:
-		if st.Delivery.Placed(a.Server, k) {
-			return a.Server, true
-		}
-	}
-	if src < 0 {
-		return -1, false
-	}
-	return src, true
+	return in.BestSource(st.Alloc, st.Delivery, j, k, st.Mode, nil)
 }
 
 // MaxQueueingInflation reports max over requests of measured/analytic

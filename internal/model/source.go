@@ -1,0 +1,63 @@
+package model
+
+// BestSource resolves Eq. 8's argmin for request (j,k) under the given
+// profiles and delivery mode: the edge server the item should be fetched
+// from, or viaEdge=false when the cloud wins (or no edge holder
+// qualifies). Ties between an edge holder and the cloud go to the edge,
+// matching the simulator's historical behaviour.
+//
+// The skip predicate (nil = no exclusions) removes candidate sources
+// from consideration. The discrete-event simulator's failover path uses
+// it to ask for the next-best replica after a source has exhausted its
+// retry budget, and chaos tooling uses it to preview degraded routings.
+func (in *Instance) BestSource(alloc Allocation, d *Delivery, j, k int, mode DeliveryMode, skip func(server int) bool) (src int, viaEdge bool) {
+	a := alloc[j]
+	if !a.Allocated() {
+		return -1, false
+	}
+	none := func(int) bool { return false }
+	if skip == nil {
+		skip = none
+	}
+	switch mode {
+	case Collaborative:
+		best := in.CloudLatency(k)
+		src = -1
+		for o := 0; o < in.N(); o++ {
+			if skip(o) || !d.Placed(o, k) {
+				continue
+			}
+			if l := in.EdgeLatency(k, o, a.Server); l < best || (src < 0 && l <= best) {
+				best = l
+				src = o
+			}
+		}
+		if src < 0 {
+			return -1, false
+		}
+		return src, true
+	case CoverageLocal:
+		for _, o := range in.Top.Coverage[j] {
+			if !skip(o) && d.Placed(o, k) {
+				return o, true
+			}
+		}
+	case ServerLocal:
+		if !skip(a.Server) && d.Placed(a.Server, k) {
+			return a.Server, true
+		}
+	}
+	return -1, false
+}
+
+// FailedServers lists the servers marked failed in the topology,
+// ascending. Healthy instances return nil.
+func (in *Instance) FailedServers() []int {
+	var out []int
+	for i, sv := range in.Top.Servers {
+		if sv.Failed {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -14,6 +14,7 @@ package repair
 
 import (
 	"fmt"
+	"sort"
 
 	"idde/internal/graph"
 	"idde/internal/model"
@@ -24,7 +25,12 @@ import (
 
 // Report accounts for a failure and its repair.
 type Report struct {
+	// FailedServer is the single injected failure, or -1 when the
+	// repair covered a compound degradation (see FailedCount).
 	FailedServer int
+	// FailedCount is the number of servers down in the degraded
+	// instance that were up in the reference instance.
+	FailedCount int
 	// DisplacedUsers were attached to the failed server.
 	DisplacedUsers int
 	// StrandedUsers ended up outside all surviving coverage (they fall
@@ -42,27 +48,77 @@ type Report struct {
 	LatencyBefore, LatencyAfter units.Seconds
 }
 
-// FailServer builds the degraded instance: server f covers nobody,
-// stores nothing and forwards nothing. The wired network may partition;
-// unreachable pairs fall back to the cloud per Eq. 8.
-func FailServer(in *model.Instance, f int) (*model.Instance, error) {
-	if f < 0 || f >= in.N() {
-		return nil, fmt.Errorf("repair: unknown server %d", f)
+// Degradation is a set of concurrently active faults to apply on top of
+// an instance: servers down, wired links cut and a cloud-ingress
+// brownout. It is the instantaneous fault state a chaos campaign holds
+// between two of its event boundaries.
+type Degradation struct {
+	// FailedServers are down: they cover nobody, store nothing and
+	// forward nothing. Ids already failed in the base instance are
+	// tolerated (idempotent), so cumulative fault sets can be replayed
+	// from the pristine instance every epoch.
+	FailedServers []int
+	// CutLinks are wired links severed without their endpoints dying
+	// (a backhaul fibre cut). Missing links are tolerated.
+	CutLinks [][2]int
+	// CloudFactor scales the cloud-ingress rate, modelling a brownout
+	// of the uplink. 0 or 1 means healthy; values in (0,1) slow the
+	// cloud down.
+	CloudFactor float64
+}
+
+// Degrade builds the instance obtained by applying the degradation to
+// the given (healthy or already-degraded) instance. Any resulting
+// partition of the wired network — including the extreme of every
+// server down — degrades gracefully: unreachable pairs fall back to
+// the cloud per Eq. 8, and an all-failed system serves everyone from
+// the cloud.
+func Degrade(in *model.Instance, d Degradation) (*model.Instance, error) {
+	failed := make([]bool, in.N())
+	for _, f := range d.FailedServers {
+		if f < 0 || f >= in.N() {
+			return nil, fmt.Errorf("repair: unknown server %d", f)
+		}
+		failed[f] = true
 	}
-	if in.Top.Servers[f].Failed {
-		return nil, fmt.Errorf("repair: server %d already failed", f)
+	for _, l := range d.CutLinks {
+		if l[0] < 0 || l[0] >= in.N() || l[1] < 0 || l[1] >= in.N() || l[0] == l[1] {
+			return nil, fmt.Errorf("repair: invalid link (%d,%d)", l[0], l[1])
+		}
+	}
+	cloudRate := in.Top.CloudRate
+	if d.CloudFactor > 0 && d.CloudFactor < 1 {
+		cloudRate = units.Rate(float64(cloudRate) * d.CloudFactor)
+	} else if d.CloudFactor < 0 || d.CloudFactor > 1 {
+		return nil, fmt.Errorf("repair: cloud factor %g outside [0,1]", d.CloudFactor)
+	}
+	cut := make(map[[2]int]bool, len(d.CutLinks))
+	for _, l := range d.CutLinks {
+		u, v := l[0], l[1]
+		if u > v {
+			u, v = v, u
+		}
+		cut[[2]int{u, v}] = true
 	}
 	top := &topology.Topology{
 		Region:         in.Top.Region,
 		Servers:        append([]topology.Server(nil), in.Top.Servers...),
 		Users:          append([]topology.User(nil), in.Top.Users...),
-		CloudRate:      in.Top.CloudRate,
+		CloudRate:      cloudRate,
 		AllowPartition: true,
 	}
-	top.Servers[f].Failed = true
+	for f, down := range failed {
+		if down {
+			top.Servers[f].Failed = true
+		}
+	}
 	top.Net = graph.New(in.N())
 	for _, e := range in.Top.Net.Edges() {
-		if e.U == f || e.V == f {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		if failed[e.U] || failed[e.V] || cut[[2]int{u, v}] {
 			continue
 		}
 		top.Net.AddEdge(e.U, e.V, e.Cost)
@@ -70,11 +126,49 @@ func FailServer(in *model.Instance, f int) (*model.Instance, error) {
 	if err := top.Finalize(); err != nil {
 		return nil, err
 	}
-	// The failed server's reservation is gone.
+	// The failed servers' reservations are gone.
 	wl := *in.Wl
 	wl.Capacity = append([]units.MegaBytes(nil), in.Wl.Capacity...)
-	wl.Capacity[f] = 0
+	for f, down := range failed {
+		if down {
+			wl.Capacity[f] = 0
+		}
+	}
 	return model.New(top, &wl, in.Radio)
+}
+
+// FailServer builds the degraded instance: server f covers nobody,
+// stores nothing and forwards nothing. The wired network may partition
+// — even down to the last surviving server — and unreachable pairs fall
+// back to the cloud per Eq. 8. Failing an already-failed server errors,
+// so callers notice double injection.
+func FailServer(in *model.Instance, f int) (*model.Instance, error) {
+	if f < 0 || f >= in.N() {
+		return nil, fmt.Errorf("repair: unknown server %d", f)
+	}
+	if in.Top.Servers[f].Failed {
+		return nil, fmt.Errorf("repair: server %d already failed", f)
+	}
+	return Degrade(in, Degradation{FailedServers: []int{f}})
+}
+
+// FailServers fails a set of servers at once (a correlated outage).
+// Duplicate and already-failed ids error, as in FailServer.
+func FailServers(in *model.Instance, fs []int) (*model.Instance, error) {
+	seen := make(map[int]bool, len(fs))
+	for _, f := range fs {
+		if f < 0 || f >= in.N() {
+			return nil, fmt.Errorf("repair: unknown server %d", f)
+		}
+		if in.Top.Servers[f].Failed {
+			return nil, fmt.Errorf("repair: server %d already failed", f)
+		}
+		if seen[f] {
+			return nil, fmt.Errorf("repair: server %d listed twice", f)
+		}
+		seen[f] = true
+	}
+	return Degrade(in, Degradation{FailedServers: fs})
 }
 
 // Options bounds the repair work.
@@ -85,40 +179,81 @@ type Options struct {
 }
 
 // Repair patches a strategy formulated on the healthy instance so it is
-// valid and effective on the degraded one. It returns the repaired
-// strategy and the accounting report.
+// valid and effective on the degraded one, where server f died. It
+// returns the repaired strategy and the accounting report.
 func Repair(healthy, degraded *model.Instance, st model.Strategy, f int, opt Options) (model.Strategy, *Report, error) {
+	repaired, rep, err := RepairDegraded(healthy, degraded, st, opt)
+	if err != nil {
+		return model.Strategy{}, nil, err
+	}
+	rep.FailedServer = f
+	return repaired, rep, nil
+}
+
+// RepairDegraded patches a strategy that was valid on the reference
+// instance so it is valid and effective on the degraded one, whatever
+// the degradation — a single dead server, a correlated multi-server
+// outage, cut links, or a partial recovery (servers up in degraded
+// that were down when the strategy was last repaired).
+//
+// Users allocated to now-dead servers are displaced and best-respond
+// into the surviving spectrum (with a bounded re-equilibration wave);
+// unallocated users that now have coverage again are re-admitted the
+// same way; replicas on dead servers are dropped and re-placed by the
+// Eq. 17 greedy within the surviving reservations. The repair is
+// deterministic and idempotent: with no new failure it makes zero
+// moves and places zero replicas.
+func RepairDegraded(ref, degraded *model.Instance, st model.Strategy, opt Options) (model.Strategy, *Report, error) {
 	if opt.Waves <= 0 {
 		opt.Waves = 2
 	}
-	if degraded.N() != healthy.N() || degraded.M() != healthy.M() || degraded.K() != healthy.K() {
+	if degraded.N() != ref.N() || degraded.M() != ref.M() || degraded.K() != ref.K() {
 		return model.Strategy{}, nil, fmt.Errorf("repair: instance dimensions differ")
 	}
-	rep := &Report{FailedServer: f}
-	rep.RateBefore, rep.LatencyBefore = healthy.Evaluate(st)
+	rep := &Report{FailedServer: -1}
+	for i := 0; i < degraded.N(); i++ {
+		if degraded.Top.Servers[i].Failed && !ref.Top.Servers[i].Failed {
+			rep.FailedCount++
+		}
+	}
+	rep.RateBefore, rep.LatencyBefore = ref.Evaluate(st)
 
-	// Phase A: displace and re-equilibrate users.
+	down := func(i int) bool { return degraded.Top.Servers[i].Failed }
+
+	// Phase A: displace users of dead servers, re-admit users that
+	// regained coverage, and re-equilibrate.
 	alloc := st.Alloc.Clone()
 	var displaced []int
 	for j, a := range alloc {
-		if a.Allocated() && a.Server == f {
+		if a.Allocated() && (down(a.Server) || !degraded.Top.Covers(a.Server, j)) {
 			displaced = append(displaced, j)
 			alloc[j] = model.Unallocated
 		}
 	}
 	rep.DisplacedUsers = len(displaced)
+	var wavefront []int
+	wavefront = append(wavefront, displaced...)
+	for j, a := range alloc {
+		if !a.Allocated() && len(degraded.Top.Coverage[j]) > 0 {
+			wavefront = append(wavefront, j)
+		}
+	}
+	sort.Ints(wavefront)
 	ledger := model.NewLedger(degraded, alloc)
-	for _, j := range displaced {
+	for _, j := range wavefront {
 		if bestRespond(degraded, ledger, j) {
 			rep.Moves++
-		} else if len(degraded.Top.Coverage[j]) == 0 {
+		}
+	}
+	for _, j := range displaced {
+		if len(degraded.Top.Coverage[j]) == 0 {
 			rep.StrandedUsers++
 		}
 	}
-	// Ripple waves: neighbours of the displaced may improve.
+	// Ripple waves: neighbours of the wavefront may improve.
 	for wave := 0; wave < opt.Waves; wave++ {
 		moved := false
-		for _, j := range neighbourhood(degraded, displaced) {
+		for _, j := range neighbourhood(degraded, wavefront) {
 			if bestRespond(degraded, ledger, j) {
 				rep.Moves++
 				moved = true
@@ -139,7 +274,7 @@ func Repair(healthy, degraded *model.Instance, st model.Strategy, f int, opt Opt
 			if !st.Delivery.Placed(i, k) {
 				continue
 			}
-			if i == f {
+			if down(i) {
 				rep.LostReplicas++
 				continue
 			}
@@ -150,7 +285,7 @@ func Repair(healthy, degraded *model.Instance, st model.Strategy, f int, opt Opt
 	oracle := &repairOracle{in: degraded, ls: ls, d: delivery}
 	var cands []placement.Candidate
 	for i := 0; i < degraded.N(); i++ {
-		if i == f {
+		if down(i) {
 			continue
 		}
 		for k := 0; k < degraded.K(); k++ {

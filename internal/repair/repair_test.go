@@ -5,10 +5,12 @@ import (
 	"testing"
 
 	"idde/internal/core"
+	"idde/internal/graph"
 	"idde/internal/model"
 	"idde/internal/radio"
 	"idde/internal/rng"
 	"idde/internal/topology"
+	"idde/internal/units"
 	"idde/internal/workload"
 )
 
@@ -199,6 +201,205 @@ func TestRepairOnPartitionedNetwork(t *testing.T) {
 		}
 		if err := deg.Check(repaired); err != nil {
 			t.Fatalf("repair %d invalid: %v", f, err)
+		}
+	}
+}
+
+// Failing every server, one at a time down to the last survivor and
+// then the last survivor itself, must degrade gracefully to all-cloud
+// service instead of erroring.
+func TestFailLastSurvivingServer(t *testing.T) {
+	in := genInstance(t, 4, 30, 3, 11)
+	st := core.Solve(in, core.DefaultOptions()).Strategy
+	cur, curSt := in, st
+	for f := 0; f < in.N(); f++ {
+		deg, err := FailServer(cur, f)
+		if err != nil {
+			t.Fatalf("fail %d: %v", f, err)
+		}
+		repaired, _, err := RepairDegraded(cur, deg, curSt, Options{})
+		if err != nil {
+			t.Fatalf("repair after failing %d: %v", f, err)
+		}
+		if err := deg.Check(repaired); err != nil {
+			t.Fatalf("repaired strategy invalid after failing %d: %v", f, err)
+		}
+		cur, curSt = deg, repaired
+	}
+	// All servers down: everyone is unallocated and every request is
+	// served from the cloud at exactly the cloud latency.
+	for j, a := range curSt.Alloc {
+		if a.Allocated() {
+			t.Fatalf("user %d still allocated with every server down", j)
+		}
+	}
+	rate, lat := cur.Evaluate(curSt)
+	if rate != 0 {
+		t.Errorf("all-failed system has rate %v", rate)
+	}
+	var cloudTotal float64
+	n := 0
+	for _, items := range cur.Wl.Requests {
+		for _, k := range items {
+			cloudTotal += float64(cur.CloudLatency(k))
+			n++
+		}
+	}
+	wantAvg := cloudTotal / float64(n)
+	if diff := float64(lat) - wantAvg; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("all-failed latency %v != all-cloud %v", float64(lat), wantAvg)
+	}
+}
+
+// Failing a server whose removal partitions the wired graph must not
+// error: unreachable pairs fall back to the cloud per Eq. 8. A line
+// topology makes every interior server a cut vertex, so this test
+// guarantees the partition path is exercised (the random-topology loop
+// in TestRepairOnPartitionedNetwork only does so probabilistically).
+func TestFailCutVertexPartitionsGracefully(t *testing.T) {
+	in := genInstance(t, 8, 50, 3, 13)
+	// Rebuild the wired net as a line 0-1-2-...-7; server 3 is a cut
+	// vertex whose removal splits {0,1,2} from {4,...,7}.
+	top := &topology.Topology{
+		Region:    in.Top.Region,
+		Servers:   append([]topology.Server(nil), in.Top.Servers...),
+		Users:     append([]topology.User(nil), in.Top.Users...),
+		CloudRate: in.Top.CloudRate,
+	}
+	top.Net = graph.New(in.N())
+	for i := 0; i+1 < in.N(); i++ {
+		top.Net.AddEdge(i, i+1, units.PerMB(3000))
+	}
+	if err := top.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	lin, err := model.New(top, in.Wl, in.Radio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := core.Solve(lin, core.DefaultOptions()).Strategy
+	deg, err := FailServer(lin, 3)
+	if err != nil {
+		t.Fatalf("failing a cut vertex errored: %v", err)
+	}
+	if !math.IsInf(float64(deg.Top.PathCost[0][7]), 1) {
+		t.Error("expected servers 0 and 7 to be disconnected")
+	}
+	repaired, _, err := Repair(lin, deg, st, 3, Options{})
+	if err != nil {
+		t.Fatalf("repair across a partition errored: %v", err)
+	}
+	if err := deg.Check(repaired); err != nil {
+		t.Fatalf("repaired strategy invalid: %v", err)
+	}
+	// Latency stays finite: cross-partition requests fall back to the
+	// cloud instead of riding an infinite path cost.
+	_, lat := deg.Evaluate(repaired)
+	if math.IsInf(float64(lat), 0) {
+		t.Error("partitioned system evaluated to infinite latency")
+	}
+}
+
+func TestDegradeCompound(t *testing.T) {
+	in := genInstance(t, 10, 60, 3, 15)
+	edges := in.Top.Net.Edges()
+	deg, err := Degrade(in, Degradation{
+		FailedServers: []int{1, 2},
+		CutLinks:      [][2]int{{edges[0].U, edges[0].V}},
+		CloudFactor:   0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deg.Top.Servers[1].Failed || !deg.Top.Servers[2].Failed {
+		t.Error("servers not failed")
+	}
+	if got, want := float64(deg.Top.CloudRate), float64(in.Top.CloudRate)*0.5; got != want {
+		t.Errorf("brownout cloud rate %v, want %v", got, want)
+	}
+	if deg.Top.Net.HasEdge(edges[0].U, edges[0].V) && !deg.Top.Servers[edges[0].U].Failed && !deg.Top.Servers[edges[0].V].Failed {
+		t.Error("cut link survived")
+	}
+	// Degrading again with the same set is idempotent-tolerant.
+	if _, err := Degrade(deg, Degradation{FailedServers: []int{1}}); err != nil {
+		t.Errorf("re-degrading an already-failed server errored: %v", err)
+	}
+	// Validation still bites.
+	if _, err := Degrade(in, Degradation{FailedServers: []int{99}}); err == nil {
+		t.Error("unknown server accepted")
+	}
+	if _, err := Degrade(in, Degradation{CutLinks: [][2]int{{0, 0}}}); err == nil {
+		t.Error("self-loop cut accepted")
+	}
+	if _, err := Degrade(in, Degradation{CloudFactor: 1.5}); err == nil {
+		t.Error("cloud factor > 1 accepted")
+	}
+}
+
+func TestFailServersValidation(t *testing.T) {
+	in := genInstance(t, 6, 30, 3, 17)
+	if _, err := FailServers(in, []int{0, 0}); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	if _, err := FailServers(in, []int{0, 9}); err == nil {
+		t.Error("out-of-range id accepted")
+	}
+	deg, err := FailServers(in, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FailServers(deg, []int{1}); err == nil {
+		t.Error("already-failed id accepted")
+	}
+}
+
+// Property: repair is deterministic under a fixed seed and idempotent —
+// repairing an already-repaired strategy with no new failure makes zero
+// moves and places zero replicas, leaving the strategy unchanged.
+func TestRepairDeterministicAndIdempotent(t *testing.T) {
+	for seed := uint64(21); seed < 26; seed++ {
+		in := genInstance(t, 12, 80, 4, seed)
+		st := core.Solve(in, core.DefaultOptions()).Strategy
+		f := busiestServer(in, st)
+		deg, err := FailServer(in, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, rep1, err := RepairDegraded(in, deg, st, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, rep2, err := RepairDegraded(in, deg, st, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *rep1 != *rep2 {
+			t.Fatalf("seed %d: repair reports differ: %+v vs %+v", seed, rep1, rep2)
+		}
+		for j := range r1.Alloc {
+			if r1.Alloc[j] != r2.Alloc[j] {
+				t.Fatalf("seed %d: allocations differ at user %d", seed, j)
+			}
+		}
+		// Idempotence: re-repair with no new failure.
+		r3, rep3, err := RepairDegraded(deg, deg, r1, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep3.Moves != 0 || rep3.ReplacedReplicas != 0 || rep3.LostReplicas != 0 || rep3.DisplacedUsers != 0 {
+			t.Fatalf("seed %d: re-repair did work: %+v", seed, rep3)
+		}
+		for j := range r1.Alloc {
+			if r1.Alloc[j] != r3.Alloc[j] {
+				t.Fatalf("seed %d: idempotent repair moved user %d", seed, j)
+			}
+		}
+		for i := 0; i < deg.N(); i++ {
+			for k := 0; k < deg.K(); k++ {
+				if r1.Delivery.Placed(i, k) != r3.Delivery.Placed(i, k) {
+					t.Fatalf("seed %d: idempotent repair changed replica (%d,%d)", seed, i, k)
+				}
+			}
 		}
 	}
 }
