@@ -9,6 +9,7 @@ package idde
 // visible straight from `go test -bench`.
 
 import (
+	"fmt"
 	"testing"
 
 	"idde/internal/baseline"
@@ -399,4 +400,124 @@ func BenchmarkDESBurst(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(rep.Avg.Millis(), "measured-ms")
 	b.ReportMetric(rep.AnalyticAvg.Millis(), "analytic-ms")
+}
+
+// --- Phase 1 perf-trajectory benches -------------------------------
+//
+// The tracked baseline lives in BENCH_phase1.json (regenerate with
+// `go run ./cmd/iddebench -perfjson BENCH_phase1.json`); the benches
+// below cover the same trajectory through `go test -bench` at scales
+// that stay CI-friendly: full-scan/naive reference variants only up to
+// M=500 (the perfbench ladder measures the M=2000 reference point,
+// ~75s per solve on one core).
+
+// perfScale builds the perfbench-ladder instance for M users.
+func perfScale(b *testing.B, m int) *model.Instance {
+	b.Helper()
+	n := m / 20
+	if n < 10 {
+		n = 10
+	}
+	in, err := experiment.BuildInstance(experiment.Params{N: n, M: m, K: 5, Density: 1.0}, 2022)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+// BenchmarkLedgerBenefit measures one Eq. 12 benefit evaluation under
+// the incremental interference aggregates versus the naive occupancy
+// walk, on an identical random profile.
+func BenchmarkLedgerBenefit(b *testing.B) {
+	for _, m := range []int{100, 500, 2000} {
+		in := perfScale(b, m)
+		s := rng.New(77)
+		l := model.NewLedger(in, model.NewAllocation(in.M()))
+		for j := 0; j < in.M(); j++ {
+			if vs := in.Top.Coverage[j]; len(vs) > 0 {
+				i := vs[s.IntN(len(vs))]
+				l.Move(j, model.Alloc{Server: i, Channel: s.IntN(in.Top.Servers[i].Channels)})
+			}
+		}
+		for _, mode := range []struct {
+			name  string
+			naive bool
+		}{{"aggregate", false}, {"naive", true}} {
+			b.Run(fmt.Sprintf("%s/M=%d", mode.name, m), func(b *testing.B) {
+				l.SetNaiveInterference(mode.naive)
+				// Materialize aggregate rows outside the timer.
+				for j := 0; j < in.M(); j++ {
+					if vs := in.Top.Coverage[j]; len(vs) > 0 {
+						_ = l.Benefit(j, model.Alloc{Server: vs[0], Channel: 0})
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					j := i % in.M()
+					vs := in.Top.Coverage[j]
+					if len(vs) == 0 {
+						continue
+					}
+					sv := vs[i%len(vs)]
+					_ = l.Benefit(j, model.Alloc{Server: sv, Channel: i % in.Top.Servers[sv].Channels})
+				}
+			})
+		}
+		l.SetNaiveInterference(false)
+	}
+}
+
+// BenchmarkGameRun measures the full Phase 1 best-response dynamics for
+// both policies with and without the dirty-set scheduler (aggregate
+// ledger on both sides, so only scheduling differs).
+func BenchmarkGameRun(b *testing.B) {
+	for _, m := range []int{100, 500} {
+		in := perfScale(b, m)
+		for _, policy := range []game.Policy{game.WinnerTakesAll, game.RoundRobin} {
+			for _, mode := range []struct {
+				name     string
+				fullScan bool
+			}{{"dirty-set", false}, {"full-scan", true}} {
+				b.Run(fmt.Sprintf("%s/%s/M=%d", policy, mode.name, m), func(b *testing.B) {
+					opt := core.DefaultOptions()
+					opt.Game.Policy = policy
+					opt.Game.FullScan = mode.fullScan
+					var st game.Stats
+					for i := 0; i < b.N; i++ {
+						_, st = core.SolvePhase1(in, opt)
+					}
+					b.ReportMetric(float64(st.Updates), "updates")
+					b.ReportMetric(float64(st.Evaluations), "evals")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkPhase1Solve is the headline trajectory: the optimized engine
+// across the perfbench ladder (M=10000 via -perfjson only) against the
+// literal-Algorithm-1 reference at the CI-affordable scales.
+func BenchmarkPhase1Solve(b *testing.B) {
+	cases := []struct {
+		name string
+		m    int
+		opt  core.Options
+	}{
+		{"optimized/M=100", 100, core.DefaultOptions()},
+		{"optimized/M=500", 500, core.DefaultOptions()},
+		{"optimized/M=2000", 2000, core.DefaultOptions()},
+		{"reference/M=100", 100, core.ReferenceOptions()},
+		{"reference/M=500", 500, core.ReferenceOptions()},
+	}
+	for _, c := range cases {
+		in := perfScale(b, c.m)
+		b.Run(c.name, func(b *testing.B) {
+			var st game.Stats
+			for i := 0; i < b.N; i++ {
+				_, st = core.SolvePhase1(in, c.opt)
+			}
+			b.ReportMetric(float64(st.Updates), "updates")
+			b.ReportMetric(float64(st.Evaluations), "evals")
+		})
+	}
 }

@@ -13,6 +13,12 @@
 // (the paper caps CPLEX at 100 s; see DESIGN.md §4); raise it with
 // -ip-budget for higher-fidelity IP results, or drop IP entirely with
 // -no-ip for quick sweeps.
+//
+// Performance tracking:
+//
+//	iddebench -perfjson BENCH_phase1.json            # regenerate the Phase 1 perf baseline
+//	iddebench -perfjson out.json -perftime 250ms     # quick CI smoke variant
+//	iddebench -fig 4 -cpuprofile cpu.pb.gz           # pprof any run
 package main
 
 import (
@@ -20,16 +26,28 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"idde/internal/baseline"
 	"idde/internal/cloudlat"
 	"idde/internal/experiment"
+	"idde/internal/perfbench"
 	"idde/internal/rng"
 	"idde/internal/viz"
 )
 
 func main() {
+	if err := realMain(); err != nil {
+		fmt.Fprintln(os.Stderr, "iddebench:", err)
+		os.Exit(1)
+	}
+}
+
+// realMain isolates the error path from os.Exit so the profiling defers
+// always flush, even when a run fails.
+func realMain() error {
 	var (
 		fig      = flag.Int("fig", 0, "figure to regenerate: 1, 3, 4, 5, 6 or 7 (0 = all)")
 		reps     = flag.Int("reps", 10, "randomized repetitions per x value (paper: 50)")
@@ -39,17 +57,87 @@ func main() {
 		outDir   = flag.String("out", "", "directory for CSV output (optional)")
 		list     = flag.Bool("list", false, "print Table 2 and exit")
 		plot     = flag.Bool("plot", false, "also render terminal plots of each figure")
+		perfJSON = flag.String("perfjson", "", "write the Phase 1 perf baseline to this file and exit (skips the figures)")
+		perfTime = flag.Duration("perftime", 2*time.Second, "per-case time budget for -perfjson")
+		perfMaxM = flag.Int("perfmaxm", 0, "skip perf scales with more than this many users (0 = full ladder; CI smoke uses a low cap)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println(experiment.Table2Markdown())
-		return
+		return nil
 	}
-	if err := run(*fig, *reps, *seed, *ipBudget, *noIP, *outDir, *plot); err != nil {
-		fmt.Fprintln(os.Stderr, "iddebench:", err)
-		os.Exit(1)
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
+
+	var err error
+	if *perfJSON != "" {
+		err = runPerf(*perfJSON, *perfTime, *seed, *perfMaxM)
+	} else {
+		err = run(*fig, *reps, *seed, *ipBudget, *noIP, *outDir, *plot)
+	}
+	if err == nil && *memProf != "" {
+		err = writeHeapProfile(*memProf)
+	}
+	return err
+}
+
+// writeHeapProfile snapshots the heap after a forced GC so the profile
+// reflects retained memory, not transient garbage.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.Lookup("heap").WriteTo(f, 0)
+}
+
+// runPerf regenerates the tracked Phase 1 performance baseline.
+func runPerf(path string, budget time.Duration, seed uint64, maxM int) error {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	scales := perfbench.Scales()
+	if maxM > 0 {
+		var kept []experiment.Params
+		for _, p := range scales {
+			if p.M <= maxM {
+				kept = append(kept, p)
+			}
+		}
+		scales = kept
+	}
+	rep, err := perfbench.RunScales(scales, budget, seed, logf)
+	if err != nil {
+		return err
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	for _, m := range []int{100, 500, 2000} {
+		if s, ok := rep.Speedups[fmt.Sprintf("SolvePhase1/M=%d", m)]; ok {
+			fmt.Printf("SolvePhase1 speedup at M=%d: %.1fx\n", m, s)
+		}
+	}
+	fmt.Printf("wrote %s (%d records)\n", path, len(rep.Records))
+	return nil
 }
 
 func run(fig, reps int, seed uint64, ipBudget time.Duration, noIP bool, outDir string, plot bool) error {

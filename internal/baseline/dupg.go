@@ -69,10 +69,15 @@ func (a *DUPG) Solve(in *model.Instance, _ uint64) model.Strategy {
 }
 
 // rateGame is the DUP-G allocation game: payoff = achievable data rate
-// with the inter-cell interference term dropped.
+// with the inter-cell interference term dropped. It implements
+// game.Localized so the engine's dirty-set scheduler applies: the
+// single-cell payoff reads only the intra-channel power of the user's
+// own covering servers, so a commit perturbs at most the users covered
+// by its source and destination servers.
 type rateGame struct {
-	in *model.Instance
-	l  *model.Ledger
+	in  *model.Instance
+	l   *model.Ledger
+	aff []int
 }
 
 func (g *rateGame) NumPlayers() int { return g.in.M() }
@@ -96,3 +101,17 @@ func (g *rateGame) Best(j int) (model.Alloc, float64, float64) {
 }
 
 func (g *rateGame) Apply(j int, a model.Alloc) { g.l.Move(j, a) }
+
+// Affected implements game.Localized (see rateGame's comment).
+func (g *rateGame) Affected(j int, a model.Alloc) []int {
+	aff := g.aff[:0]
+	cur := g.l.Current(j)
+	if cur.Allocated() {
+		aff = append(aff, g.in.Top.Covered[cur.Server]...)
+	}
+	if a.Allocated() && (!cur.Allocated() || a.Server != cur.Server) {
+		aff = append(aff, g.in.Top.Covered[a.Server]...)
+	}
+	g.aff = aff
+	return aff
+}

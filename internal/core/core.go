@@ -28,18 +28,47 @@ import (
 // Options tunes IDDE-G.
 type Options struct {
 	// Game configures the Phase 1 best-response dynamics. The zero
-	// value is replaced by game.DefaultOptions().
+	// value is replaced by game.DefaultOptions(); an intentionally
+	// all-zero configuration must carry game.Options.Set (see
+	// game.NewOptions) to be preserved.
 	Game game.Options
 	// NaiveGreedy switches Phase 2 from the lazy (CELF) evaluator to
 	// the literal re-scan-everything loop of Algorithm 1; the output is
 	// identical, only the oracle-call count differs. Used for
 	// differential tests and the ablation bench.
 	NaiveGreedy bool
+	// NaiveInterference switches the Phase 1 ledger to the O(occupancy)
+	// reference scan for the Eq. 2 inter-cell term instead of the
+	// incremental aggregates. Results agree up to floating-point
+	// summation order; used for differential tests, drift-sensitive
+	// debugging and the perf baseline.
+	NaiveInterference bool
 }
 
 // DefaultOptions returns the configuration used in the experiments.
 func DefaultOptions() Options {
 	return Options{Game: game.DefaultOptions()}
+}
+
+// ReferenceOptions returns the unoptimized literal-Algorithm-1
+// configuration: full-scan rounds (no dirty-set scheduling) over the
+// naive O(occupancy) interference evaluator. It is behavior-identical
+// to DefaultOptions up to floating-point summation order and serves as
+// the differential-test and perf-baseline reference.
+func ReferenceOptions() Options {
+	g := game.DefaultOptions()
+	g.FullScan = true
+	return Options{Game: g, NaiveInterference: true}
+}
+
+// resolveGameOptions replaces an unset zero-value game.Options with the
+// defaults. Explicitly configured options — even all-zero ones, which
+// carry game.Options.Set — pass through verbatim.
+func resolveGameOptions(o game.Options) game.Options {
+	if o == (game.Options{}) {
+		return game.DefaultOptions()
+	}
+	return o
 }
 
 // Result carries the strategy and the instrumentation the theorems talk
@@ -66,16 +95,32 @@ type Result struct {
 	Phase1Time, Phase2Time time.Duration
 }
 
+// SolvePhase1 runs Phase 1 alone — the IDDE-U best-response game from
+// the all-unallocated profile — and returns the equilibrium allocation
+// with the dynamics stats. Perf baselines use it to time Phase 1
+// without Phase 2 noise; Solve goes through the same path.
+func SolvePhase1(in *model.Instance, opt Options) (model.Allocation, game.Stats) {
+	opt.Game = resolveGameOptions(opt.Game)
+	ledger := model.NewLedger(in, model.NewAllocation(in.M()))
+	if opt.NaiveInterference {
+		ledger.SetNaiveInterference(true)
+	}
+	adapter := &allocGame{in: in, l: ledger}
+	st := game.Run[model.Alloc](adapter, opt.Game)
+	return ledger.Alloc(), st
+}
+
 // Solve runs IDDE-G on the instance.
 func Solve(in *model.Instance, opt Options) *Result {
-	if opt.Game == (game.Options{}) {
-		opt.Game = game.DefaultOptions()
-	}
+	opt.Game = resolveGameOptions(opt.Game)
 	res := &Result{}
 
 	// Phase 1 — IDDE-U game for the user allocation profile.
 	t0 := time.Now()
 	ledger := model.NewLedger(in, model.NewAllocation(in.M()))
+	if opt.NaiveInterference {
+		ledger.SetNaiveInterference(true)
+	}
 	adapter := &allocGame{in: in, l: ledger}
 	res.Phase1 = game.Run[model.Alloc](adapter, opt.Game)
 	alloc := ledger.Alloc()

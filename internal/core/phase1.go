@@ -7,10 +7,15 @@ import (
 // allocGame adapts the IDDE-U game to the generic engine: player j's
 // decision set δ_j is every channel of every covering server (Algorithm
 // 1 lines 7–12) plus the current decision, and the payoff is the
-// benefit function of Eq. (12).
+// benefit function of Eq. (12). It also implements game.Localized, so
+// the engine's dirty-set scheduler re-evaluates only the players a
+// commit can actually perturb.
 type allocGame struct {
 	in *model.Instance
 	l  *model.Ledger
+	// aff is the reusable Affected buffer (Affected/Apply are
+	// serialized by the engine).
+	aff []int
 }
 
 func (g *allocGame) NumPlayers() int { return g.in.M() }
@@ -34,6 +39,27 @@ func (g *allocGame) Best(j int) (model.Alloc, float64, float64) {
 }
 
 func (g *allocGame) Apply(j int, a model.Alloc) { g.l.Move(j, a) }
+
+// Affected implements game.Localized. A commit by user j only mutates
+// the two (server, channel) cells it leaves and enters, and player q's
+// Eq. 12 benefit for any decision in δ_q reads exclusively channels of
+// q's own covering servers (both the intra-channel sum and the
+// inter-cell term of Eq. 2 range over V_q). So the players whose payoff
+// landscape can change are exactly those covered by the source or the
+// destination server — the inverted Coverage index U_i, precomputed as
+// Top.Covered.
+func (g *allocGame) Affected(j int, a model.Alloc) []int {
+	aff := g.aff[:0]
+	cur := g.l.Current(j)
+	if cur.Allocated() {
+		aff = append(aff, g.in.Top.Covered[cur.Server]...)
+	}
+	if a.Allocated() && (!cur.Allocated() || a.Server != cur.Server) {
+		aff = append(aff, g.in.Top.Covered[a.Server]...)
+	}
+	g.aff = aff
+	return aff
+}
 
 // Potential evaluates the IDDE-U potential function of Eq. (13) for an
 // allocation profile. Following the printed formula (with the benefit

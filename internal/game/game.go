@@ -12,12 +12,31 @@
 // immediately, in sequence) is provided as an ablation — it is also an
 // improvement path, hence also terminates on potential games, but it is
 // not the paper's protocol.
+//
+// # Dirty-set scheduling
+//
+// Re-evaluating every player every round is wasted work when a commit
+// only perturbs a bounded neighbourhood of the profile — in the IDDE-U
+// game a move touches two (server, channel) cells, and only players
+// covered by those servers can see their Eq. 12 benefit change. Adapters
+// that can enumerate that neighbourhood implement Localized; the engine
+// then caches every player's last proposal, invalidates only the
+// affected ones after each commit, and keeps the cached gains in an
+// indexed max-heap so a winner-takes-all round costs
+// O(|affected|·eval + |affected|·log M) instead of O(M·eval). The
+// committed move sequence — and therefore the equilibrium and the
+// Rounds/Updates accounting of Theorem 4 — is provably identical to the
+// full scan: a cached proposal is only reused when the player's payoff
+// landscape is untouched, so a fresh evaluation would return the same
+// decision bit for bit. Options.FullScan forces the literal protocol for
+// differential tests and perf baselines.
 package game
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Adapter connects a concrete game to the engine. Decisions are opaque
@@ -33,6 +52,23 @@ type Adapter[D any] interface {
 	Best(j int) (d D, benefit float64, current float64)
 	// Apply commits decision d for player j.
 	Apply(j int, d D)
+}
+
+// Localized is an optional Adapter extension for games where a commit
+// perturbs only a bounded neighbourhood of players. Implementing it
+// enables the dirty-set scheduler (see the package comment).
+type Localized[D any] interface {
+	Adapter[D]
+	// Affected reports the players whose payoff landscape may change
+	// when player j commits decision d. It is called immediately before
+	// Apply(j, d), so the adapter can still read j's pre-move state.
+	// The result may contain duplicates and need not include j (the
+	// engine always re-evaluates the mover), but it MUST be a superset
+	// of every player whose payoff for any decision changes — an
+	// under-approximation silently serves stale proposals. The returned
+	// slice is only read until the next Affected or Apply call, so
+	// adapters may reuse one buffer.
+	Affected(j int, d D) []int
 }
 
 // Policy selects the update arbitration.
@@ -59,6 +95,10 @@ func (p Policy) String() string {
 	}
 }
 
+// DefaultParallelThreshold is the player count below which the parallel
+// proposal scan is not worth the goroutine fan-out.
+const DefaultParallelThreshold = 64
+
 // Options tunes the dynamics.
 type Options struct {
 	Policy Policy
@@ -80,11 +120,36 @@ type Options struct {
 	PerPlayerCap int
 	// Parallel enables the concurrent best-response scan.
 	Parallel bool
+	// ParallelThreshold is the minimum number of players (or, for
+	// dirty-set rounds, invalidated players) before the parallel scan
+	// kicks in; 0 means DefaultParallelThreshold. Benches force either
+	// path by setting it to 1 or disabling Parallel.
+	ParallelThreshold int
+	// FullScan forces the literal Algorithm 1 re-evaluation of every
+	// player each round even when the adapter is Localized. The commit
+	// sequence and the Rounds/Updates/Converged/Frozen stats are
+	// identical either way (the dirty-set scheduler only skips provably
+	// unchanged proposals); only wall-clock and Evaluations differ.
+	// This is the reference mode for differential tests and baselines.
+	FullScan bool
+	// Set marks the Options as explicitly configured. Embedders (e.g.
+	// core.Solve) replace a zero-value Options with their defaults; an
+	// intentionally all-zero configuration — sequential winner-takes-all
+	// with Epsilon 0 and no caps — must carry Set (use NewOptions) to
+	// survive that replacement.
+	Set bool
+}
+
+// NewOptions marks o as explicitly configured, shielding all-zero
+// configurations from default replacement by embedders.
+func NewOptions(o Options) Options {
+	o.Set = true
+	return o
 }
 
 // DefaultOptions returns the engine configuration used by IDDE-G.
 func DefaultOptions() Options {
-	return Options{Policy: WinnerTakesAll, Epsilon: 1e-12, PerPlayerCap: 16, Parallel: true}
+	return Options{Policy: WinnerTakesAll, Epsilon: 1e-12, PerPlayerCap: 16, Parallel: true, Set: true}
 }
 
 // Stats reports how the dynamics ran.
@@ -94,6 +159,12 @@ type Stats struct {
 	// Updates counts committed decision changes (the "iterations" of
 	// Theorem 4).
 	Updates int
+	// Evaluations counts Adapter.Best calls. The dirty-set scheduler's
+	// savings show up here: the full scan performs roughly
+	// Rounds×players evaluations, the dirty-set engine only
+	// Σ|affected|. Unlike the other fields it is NOT invariant across
+	// scheduling modes.
+	Evaluations int
 	// Converged reports whether the dynamics reached a fixed point: no
 	// eligible player can improve by more than Epsilon. Frozen players
 	// (if any) are reported separately.
@@ -101,6 +172,24 @@ type Stats struct {
 	// Frozen counts players that exhausted PerPlayerCap; their final
 	// decisions may admit improving deviations.
 	Frozen int
+}
+
+// proposal caches one player's last evaluated best response.
+type proposal[D any] struct {
+	d    D
+	gain float64
+}
+
+// runner carries the shared state of one Run invocation.
+type runner[D any] struct {
+	a      Adapter[D]
+	opt    Options
+	n      int
+	thresh int
+	props  []proposal[D]
+	moves  []int
+	evals  atomic.Int64
+	st     Stats
 }
 
 // Run executes best-response dynamics until no player can improve or
@@ -113,123 +202,313 @@ func Run[D any](a Adapter[D], opt Options) Stats {
 			opt.MaxUpdates = 1000
 		}
 	}
-	var st Stats
+	thresh := opt.ParallelThreshold
+	if thresh <= 0 {
+		thresh = DefaultParallelThreshold
+	}
+	r := &runner[D]{
+		a:      a,
+		opt:    opt,
+		n:      n,
+		thresh: thresh,
+		props:  make([]proposal[D], n),
+		moves:  make([]int, n),
+	}
 	if n == 0 {
-		st.Converged = true
-		return st
+		r.st.Converged = true
+		return r.st
 	}
-
-	type proposal struct {
-		player int
-		d      D
-		gain   float64
-	}
-	props := make([]proposal, n)
-	moves := make([]int, n)
-	eligible := func(j int) bool {
-		return opt.PerPlayerCap <= 0 || moves[j] < opt.PerPlayerCap
-	}
-	countFrozen := func() int {
-		if opt.PerPlayerCap <= 0 {
-			return 0
-		}
-		f := 0
-		for _, m := range moves {
-			if m >= opt.PerPlayerCap {
-				f++
-			}
-		}
-		return f
-	}
-
-	scan := func() {
-		eval := func(j int) {
-			if !eligible(j) {
-				props[j] = proposal{player: j, gain: 0}
-				return
-			}
-			d, benefit, cur := a.Best(j)
-			props[j] = proposal{player: j, d: d, gain: benefit - cur}
-		}
-		if opt.Parallel && n >= 64 {
-			workers := runtime.GOMAXPROCS(0)
-			if workers > n {
-				workers = n
-			}
-			var wg sync.WaitGroup
-			chunk := (n + workers - 1) / workers
-			for w := 0; w < workers; w++ {
-				lo := w * chunk
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				if lo >= hi {
-					break
-				}
-				wg.Add(1)
-				go func(lo, hi int) {
-					defer wg.Done()
-					for j := lo; j < hi; j++ {
-						eval(j)
-					}
-				}(lo, hi)
-			}
-			wg.Wait()
-		} else {
-			for j := 0; j < n; j++ {
-				eval(j)
-			}
-		}
-	}
+	loc, localized := a.(Localized[D])
+	localized = localized && !opt.FullScan
 
 	switch opt.Policy {
 	case WinnerTakesAll:
-		for st.Updates < opt.MaxUpdates {
-			st.Rounds++
-			scan()
-			winner := -1
-			bestGain := opt.Epsilon
-			for j := range props {
-				if props[j].gain > bestGain {
-					bestGain = props[j].gain
-					winner = j
-				}
-			}
-			if winner < 0 {
-				st.Converged = true
-				st.Frozen = countFrozen()
-				return st
-			}
-			a.Apply(winner, props[winner].d)
-			moves[winner]++
-			st.Updates++
+		if localized {
+			r.winnerDirty(loc)
+		} else {
+			r.winnerFullScan()
 		}
 	case RoundRobin:
-		for st.Updates < opt.MaxUpdates {
-			st.Rounds++
-			moved := false
-			for j := 0; j < n && st.Updates < opt.MaxUpdates; j++ {
-				if !eligible(j) {
-					continue
-				}
-				d, benefit, cur := a.Best(j)
-				if benefit-cur > opt.Epsilon {
-					a.Apply(j, d)
-					moves[j]++
-					st.Updates++
-					moved = true
-				}
-			}
-			if !moved {
-				st.Converged = true
-				st.Frozen = countFrozen()
-				return st
-			}
+		if localized {
+			r.roundRobinDirty(loc)
+		} else {
+			r.roundRobinFullScan()
 		}
 	default:
 		panic(fmt.Sprintf("game: unknown policy %d", int(opt.Policy)))
 	}
-	st.Frozen = countFrozen()
-	return st
+	r.st.Evaluations = int(r.evals.Load())
+	return r.st
+}
+
+func (r *runner[D]) eligible(j int) bool {
+	return r.opt.PerPlayerCap <= 0 || r.moves[j] < r.opt.PerPlayerCap
+}
+
+func (r *runner[D]) countFrozen() int {
+	if r.opt.PerPlayerCap <= 0 {
+		return 0
+	}
+	f := 0
+	for _, m := range r.moves {
+		if m >= r.opt.PerPlayerCap {
+			f++
+		}
+	}
+	return f
+}
+
+// eval refreshes player j's cached proposal.
+func (r *runner[D]) eval(j int) {
+	if !r.eligible(j) {
+		r.props[j] = proposal[D]{gain: 0}
+		return
+	}
+	d, benefit, cur := r.a.Best(j)
+	r.evals.Add(1)
+	r.props[j] = proposal[D]{d: d, gain: benefit - cur}
+}
+
+// forEach runs fn over 0..count-1, fanning out to GOMAXPROCS workers
+// when the parallel scan is enabled and worthwhile.
+func (r *runner[D]) forEach(count int, fn func(idx int)) {
+	if !r.opt.Parallel || count < r.thresh {
+		for idx := 0; idx < count; idx++ {
+			fn(idx)
+		}
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > count {
+		workers = count
+	}
+	var wg sync.WaitGroup
+	chunk := (count + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, count)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for idx := lo; idx < hi; idx++ {
+				fn(idx)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// scanAll refreshes every cached proposal (one full Algorithm 1 scan).
+func (r *runner[D]) scanAll() {
+	r.forEach(r.n, func(j int) { r.eval(j) })
+}
+
+// winnerFullScan is the literal Algorithm 1 protocol: every round
+// re-evaluates every player and commits the single largest improvement.
+func (r *runner[D]) winnerFullScan() {
+	for r.st.Updates < r.opt.MaxUpdates {
+		r.st.Rounds++
+		r.scanAll()
+		winner := -1
+		bestGain := r.opt.Epsilon
+		for j := range r.props {
+			if r.props[j].gain > bestGain {
+				bestGain = r.props[j].gain
+				winner = j
+			}
+		}
+		if winner < 0 {
+			r.st.Converged = true
+			r.st.Frozen = r.countFrozen()
+			return
+		}
+		r.a.Apply(winner, r.props[winner].d)
+		r.moves[winner]++
+		r.st.Updates++
+	}
+	r.st.Frozen = r.countFrozen()
+}
+
+// winnerDirty implements winner-takes-all over cached proposals: after a
+// commit only the players the adapter reports as affected are
+// re-evaluated, and the cached gains live in an indexed max-heap keyed
+// (gain desc, player asc) — the same argmax-with-lowest-index-tie-break
+// the full scan computes, so the move sequence is identical.
+func (r *runner[D]) winnerDirty(loc Localized[D]) {
+	n := r.n
+	heapArr := make([]int, n) // player ids in heap order
+	heapPos := make([]int, n) // player -> position in heapArr
+	less := func(p, q int) bool {
+		gp, gq := r.props[p].gain, r.props[q].gain
+		if gp != gq {
+			return gp > gq
+		}
+		return p < q
+	}
+	swap := func(a, b int) {
+		heapArr[a], heapArr[b] = heapArr[b], heapArr[a]
+		heapPos[heapArr[a]] = a
+		heapPos[heapArr[b]] = b
+	}
+	down := func(pos int) {
+		for {
+			c := 2*pos + 1
+			if c >= n {
+				return
+			}
+			if c+1 < n && less(heapArr[c+1], heapArr[c]) {
+				c++
+			}
+			if !less(heapArr[c], heapArr[pos]) {
+				return
+			}
+			swap(pos, c)
+			pos = c
+		}
+	}
+	up := func(pos int) {
+		for pos > 0 {
+			parent := (pos - 1) / 2
+			if !less(heapArr[pos], heapArr[parent]) {
+				return
+			}
+			swap(pos, parent)
+			pos = parent
+		}
+	}
+
+	// pending lists the players invalidated by the previous commit;
+	// scratch receives their fresh proposals so each heap key changes
+	// one at a time (a batched overwrite would break the sift
+	// invariant). seen/stamp dedupe the adapter's affected list.
+	var pending []int
+	scratch := make([]proposal[D], 0, n)
+	seen := make([]int, n)
+	stamp := 0
+
+	for r.st.Updates < r.opt.MaxUpdates {
+		r.st.Rounds++
+		if r.st.Rounds == 1 {
+			r.scanAll()
+			for j := 0; j < n; j++ {
+				heapArr[j] = j
+				heapPos[j] = j
+			}
+			for pos := n/2 - 1; pos >= 0; pos-- {
+				down(pos)
+			}
+		} else {
+			scratch = scratch[:len(pending)]
+			r.forEach(len(pending), func(idx int) {
+				j := pending[idx]
+				if !r.eligible(j) {
+					scratch[idx] = proposal[D]{gain: 0}
+					return
+				}
+				d, benefit, cur := r.a.Best(j)
+				r.evals.Add(1)
+				scratch[idx] = proposal[D]{d: d, gain: benefit - cur}
+			})
+			for idx, j := range pending {
+				r.props[j] = scratch[idx]
+				pos := heapPos[j]
+				up(pos)
+				down(heapPos[j])
+			}
+		}
+		winner := heapArr[0]
+		if !(r.props[winner].gain > r.opt.Epsilon) {
+			r.st.Converged = true
+			r.st.Frozen = r.countFrozen()
+			return
+		}
+		d := r.props[winner].d
+		stamp++
+		pending = pending[:0]
+		pending = append(pending, winner)
+		seen[winner] = stamp
+		for _, q := range loc.Affected(winner, d) {
+			if q >= 0 && q < n && seen[q] != stamp {
+				seen[q] = stamp
+				pending = append(pending, q)
+			}
+		}
+		r.a.Apply(winner, d)
+		r.moves[winner]++
+		r.st.Updates++
+	}
+	r.st.Frozen = r.countFrozen()
+}
+
+// roundRobinFullScan evaluates every eligible player in index order each
+// round, committing improvements immediately.
+func (r *runner[D]) roundRobinFullScan() {
+	for r.st.Updates < r.opt.MaxUpdates {
+		r.st.Rounds++
+		moved := false
+		for j := 0; j < r.n && r.st.Updates < r.opt.MaxUpdates; j++ {
+			if !r.eligible(j) {
+				continue
+			}
+			d, benefit, cur := r.a.Best(j)
+			r.evals.Add(1)
+			if benefit-cur > r.opt.Epsilon {
+				r.a.Apply(j, d)
+				r.moves[j]++
+				r.st.Updates++
+				moved = true
+			}
+		}
+		if !moved {
+			r.st.Converged = true
+			r.st.Frozen = r.countFrozen()
+			return
+		}
+	}
+	r.st.Frozen = r.countFrozen()
+}
+
+// roundRobinDirty skips players whose payoff landscape has not changed
+// since their last (non-improving) evaluation. A skipped player would
+// have re-evaluated to the same non-improving proposal, so the commit
+// sequence, Rounds and Updates match the full scan exactly.
+func (r *runner[D]) roundRobinDirty(loc Localized[D]) {
+	dirty := make([]bool, r.n)
+	for j := range dirty {
+		dirty[j] = true
+	}
+	for r.st.Updates < r.opt.MaxUpdates {
+		r.st.Rounds++
+		moved := false
+		for j := 0; j < r.n && r.st.Updates < r.opt.MaxUpdates; j++ {
+			if !r.eligible(j) || !dirty[j] {
+				continue
+			}
+			d, benefit, cur := r.a.Best(j)
+			r.evals.Add(1)
+			if benefit-cur > r.opt.Epsilon {
+				for _, q := range loc.Affected(j, d) {
+					if q >= 0 && q < r.n {
+						dirty[q] = true
+					}
+				}
+				r.a.Apply(j, d)
+				r.moves[j]++
+				r.st.Updates++
+				moved = true
+			}
+			// j just evaluated (and, on a commit, moved to its own best
+			// response): clean either way until someone else perturbs it.
+			dirty[j] = false
+		}
+		if !moved {
+			r.st.Converged = true
+			r.st.Frozen = r.countFrozen()
+			return
+		}
+	}
+	r.st.Frozen = r.countFrozen()
 }

@@ -6,10 +6,11 @@
 // checks of Eqs. (1), (6) and (7)/(8).
 //
 // Two incremental evaluators make the algorithms fast: Ledger maintains
-// per-channel power sums for O(|V_j|·avg-channel-occupancy) best-response
-// scans in the IDDE-U game, and LatencyState maintains per-request best
-// latencies for O(requests-of-item) marginal gains in the greedy delivery
-// phase.
+// per-channel power sums plus per-(receiver, source, channel)
+// gain-weighted interference aggregates for O(|V_j|) best-response
+// evaluations in the IDDE-U game, and LatencyState maintains per-request
+// best latencies for O(requests-of-item) marginal gains in the greedy
+// delivery phase.
 package model
 
 import (

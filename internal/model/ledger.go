@@ -1,6 +1,9 @@
 package model
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"idde/internal/radio"
 	"idde/internal/units"
 )
@@ -9,8 +12,18 @@ import (
 // each (server, channel) and the total transmit power there. It answers
 // the per-user quantities of §2.2 — SINR (Eq. 2), achievable rate
 // (Eqs. 3–4) and the game benefit (Eq. 12) — for both the current
-// decision and hypothetical moves, in time proportional to the occupancy
-// of the channels involved rather than to M.
+// decision and hypothetical moves, in time proportional to the coverage
+// set of the user involved rather than to M or to channel occupancy.
+//
+// Two interference evaluators coexist. The default keeps, per (receiver
+// server i, source server o, channel x), the gain-weighted power sum
+// Σ_{t∈users[o][x]} Gain[i][t]·p_t, so the inter-cell term F of Eq. (2)
+// is |V_j| lookups instead of a walk over every co-channel occupant.
+// Receiver rows are built lazily (one-shot evaluations never pay for
+// them) and maintained in O(built receivers) per Move. The naive
+// reference scan remains available via SetNaiveInterference for
+// differential tests and drift-sensitive debugging; the two differ only
+// in floating-point summation order.
 type Ledger struct {
 	in    *Instance
 	alloc Allocation
@@ -18,20 +31,38 @@ type Ledger struct {
 	users [][][]int
 	// power[i][x] is Σ p_t over those users.
 	power [][]units.Watts
+
+	// chanOff[o] is the offset of server o's channel block on the
+	// flattened (source server, channel) axis; chanTotal is Σ_o channels.
+	chanOff   []int
+	chanTotal int
+	// agg[i] points at the lazily built receiver-i aggregate row:
+	// row[chanOff[o]+x] = Σ_{t∈users[o][x]} Gain[i][t]·p_t. Rows are
+	// published atomically so concurrent best-response scans may fault
+	// them in; Move (single-writer by the Adapter contract) updates only
+	// rows that exist.
+	agg   []atomic.Pointer[[]float64]
+	aggMu sync.Mutex
+	// naive switches interCell to the O(occupancy) reference scan.
+	naive bool
 }
 
 // NewLedger builds a ledger over a copy of the given profile.
 func NewLedger(in *Instance, alloc Allocation) *Ledger {
 	l := &Ledger{
-		in:    in,
-		alloc: alloc.Clone(),
-		users: make([][][]int, in.N()),
-		power: make([][]units.Watts, in.N()),
+		in:      in,
+		alloc:   alloc.Clone(),
+		users:   make([][][]int, in.N()),
+		power:   make([][]units.Watts, in.N()),
+		chanOff: make([]int, in.N()),
+		agg:     make([]atomic.Pointer[[]float64], in.N()),
 	}
 	for i := 0; i < in.N(); i++ {
 		c := in.Top.Servers[i].Channels
 		l.users[i] = make([][]int, c)
 		l.power[i] = make([]units.Watts, c)
+		l.chanOff[i] = l.chanTotal
+		l.chanTotal += c
 	}
 	for j, d := range l.alloc {
 		if d.Allocated() {
@@ -40,6 +71,21 @@ func NewLedger(in *Instance, alloc Allocation) *Ledger {
 		}
 	}
 	return l
+}
+
+// SetNaiveInterference toggles the O(occupancy) reference scan for the
+// inter-cell interference term of Eq. (2). The aggregate evaluator is a
+// pure reassociation of the same sum; results agree up to floating-point
+// summation order (the differential tests in this package pin that
+// down). The naive path exists for drift-sensitive debugging and as the
+// perf-baseline reference.
+func (l *Ledger) SetNaiveInterference(on bool) {
+	l.naive = on
+	// Built rows go stale while the naive path runs (Move stops
+	// maintaining them); drop them so re-enabling rebuilds from scratch.
+	for i := range l.agg {
+		l.agg[i].Store(nil)
+	}
 }
 
 // Alloc returns a snapshot of the current profile.
@@ -52,7 +98,9 @@ func (l *Ledger) Current(j int) Alloc { return l.alloc[j] }
 func (l *Ledger) Occupancy(i, x int) int { return len(l.users[i][x]) }
 
 // Move reassigns user j to decision a (possibly Unallocated),
-// maintaining the channel registries.
+// maintaining the channel registries and any built aggregate rows in
+// O(built receivers). Move must not race with concurrent evaluations
+// (the game engine serializes Apply).
 func (l *Ledger) Move(j int, a Alloc) {
 	cur := l.alloc[j]
 	if cur == a {
@@ -66,6 +114,80 @@ func (l *Ledger) Move(j int, a Alloc) {
 		l.power[a.Server][a.Channel] += l.in.Top.Users[j].Power
 	}
 	l.alloc[j] = a
+	l.aggMove(j, cur, a)
+}
+
+// aggMove folds user j's contribution Gain[i][j]·p_j out of (from) and
+// into (to) every built receiver row.
+func (l *Ledger) aggMove(j int, from, to Alloc) {
+	if l.naive {
+		return
+	}
+	fromIdx, toIdx := -1, -1
+	if from.Allocated() {
+		fromIdx = l.chanOff[from.Server] + from.Channel
+	}
+	if to.Allocated() {
+		toIdx = l.chanOff[to.Server] + to.Channel
+	}
+	// Invariant: a built cell always equals the left-to-right fold of
+	// Gain[i][t]·p_t over the current users[o][x] list — exactly what a
+	// fresh build computes. Appends extend the fold with one more term;
+	// removals recompute the cell from the (typically short) survivor
+	// list instead of subtracting, because incremental subtraction
+	// leaves residue proportional to the largest *historical* occupant,
+	// which can dwarf the remaining sum and flip argmax decisions
+	// against the reference path on near-empty channels.
+	var fromUsers []int
+	if fromIdx >= 0 {
+		fromUsers = l.users[from.Server][from.Channel]
+	}
+	p := float64(l.in.Top.Users[j].Power)
+	for i := range l.agg {
+		rp := l.agg[i].Load()
+		if rp == nil {
+			continue
+		}
+		row := *rp
+		gi := l.in.Gain[i]
+		if fromIdx >= 0 {
+			var sum float64
+			for _, t := range fromUsers {
+				sum += gi[t] * float64(l.in.Top.Users[t].Power)
+			}
+			row[fromIdx] = sum
+		}
+		if toIdx >= 0 {
+			row[toIdx] += gi[j] * p
+		}
+	}
+}
+
+// aggRow returns the receiver-i aggregate row, building it on first use.
+// Safe for concurrent callers between Moves.
+func (l *Ledger) aggRow(i int) []float64 {
+	if rp := l.agg[i].Load(); rp != nil {
+		return *rp
+	}
+	l.aggMu.Lock()
+	defer l.aggMu.Unlock()
+	if rp := l.agg[i].Load(); rp != nil {
+		return *rp
+	}
+	row := make([]float64, l.chanTotal)
+	gi := l.in.Gain[i]
+	for o := range l.users {
+		off := l.chanOff[o]
+		for x, us := range l.users[o] {
+			var sum float64
+			for _, t := range us {
+				sum += gi[t] * float64(l.in.Top.Users[t].Power)
+			}
+			row[off+x] = sum
+		}
+	}
+	l.agg[i].Store(&row)
+	return row
 }
 
 func (l *Ledger) remove(j int, a Alloc) {
@@ -86,8 +208,34 @@ func (l *Ledger) remove(j int, a Alloc) {
 // interCell computes F_{i,x,j} of Eq. (2): the interference measured at
 // server i on channel x from users allocated to channel x of the *other*
 // servers covering user j, under the hypothesis that j itself sits at
-// (i,x) (so j never self-interferes).
+// (i,x) (so j never self-interferes). The default path reads one
+// pre-aggregated sum per covering server — O(|V_j|) — and subtracts j's
+// own contribution where j currently occupies a summed channel.
 func (l *Ledger) interCell(j int, a Alloc) units.Watts {
+	if l.naive {
+		return l.interCellNaive(j, a)
+	}
+	row := l.aggRow(a.Server)
+	cur := l.alloc[j]
+	var f float64
+	for _, o := range l.in.Top.Coverage[j] {
+		if o == a.Server || a.Channel >= len(l.users[o]) {
+			continue
+		}
+		f += row[l.chanOff[o]+a.Channel]
+		if cur.Server == o && cur.Channel == a.Channel {
+			f -= l.in.Gain[a.Server][j] * float64(l.in.Top.Users[j].Power)
+		}
+	}
+	if f < 0 {
+		f = 0 // guard fp drift from the self-term subtraction
+	}
+	return units.Watts(f)
+}
+
+// interCellNaive is the reference evaluator: walk every co-channel
+// occupant of every covering server (O(|V_j|·occupancy)).
+func (l *Ledger) interCellNaive(j int, a Alloc) units.Watts {
 	var f float64
 	for _, o := range l.in.Top.Coverage[j] {
 		if o == a.Server || a.Channel >= len(l.users[o]) {

@@ -1,0 +1,102 @@
+package perfbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"idde/internal/experiment"
+)
+
+// TestScalesTrajectory pins the tracked scale ladder.
+func TestScalesTrajectory(t *testing.T) {
+	ps := Scales()
+	if len(ps) != 4 || ps[0].M != 100 || ps[3].M != 10000 {
+		t.Fatalf("unexpected scale ladder: %v", ps)
+	}
+	for _, p := range ps {
+		if p.K != 5 || p.Density != 1.0 {
+			t.Fatalf("K/density drifted from Table 2 defaults: %v", p)
+		}
+		if p.N < 10 {
+			t.Fatalf("N floor violated: %v", p)
+		}
+	}
+}
+
+// TestRunSmoke verifies the measurement plumbing on tiny instances —
+// record shape, game stats, the reference cap and the speedup map. The
+// full-budget ladder run happens in cmd/iddebench -perfjson.
+func TestRunSmoke(t *testing.T) {
+	scales := []experiment.Params{
+		{N: 10, M: 40, K: 5, Density: 1.0},
+		{N: 10, M: 80, K: 5, Density: 1.0},
+	}
+	rep, err := RunScales(scales, time.Millisecond, 2022, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ReferenceCapM != ReferenceCapM {
+		t.Fatalf("reference cap not recorded: %+v", rep)
+	}
+	var optimized, reference int
+	for _, r := range rep.Records {
+		if r.Iters <= 0 || r.NsPerOp <= 0 {
+			t.Fatalf("degenerate record %+v", r)
+		}
+		switch r.Name {
+		case "SolvePhase1/optimized":
+			optimized++
+			if r.Updates <= 0 || r.Rounds <= 0 || r.Evaluations <= 0 {
+				t.Fatalf("solve record missing game stats: %+v", r)
+			}
+		case "SolvePhase1/reference":
+			reference++
+		}
+	}
+	if optimized != len(scales) || reference != len(scales) {
+		t.Fatalf("expected every variant at every sub-cap scale, got optimized=%d reference=%d",
+			optimized, reference)
+	}
+	for _, p := range scales {
+		for _, key := range []string{
+			fmt.Sprintf("SolvePhase1/M=%d", p.M),
+			fmt.Sprintf("LedgerBenefit/M=%d", p.M),
+		} {
+			if _, ok := rep.Speedups[key]; !ok {
+				t.Fatalf("missing speedup entry %s: %v", key, rep.Speedups)
+			}
+		}
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if !strings.HasSuffix(string(b), "\n") {
+		t.Fatal("committed JSON must end with a newline")
+	}
+}
+
+// TestReferenceCapSkipsLargeScales checks that reference variants are
+// flagged for capping and the optimized variant is not.
+func TestReferenceCapSkipsLargeScales(t *testing.T) {
+	vs := phase1Variants()
+	var refCount int
+	for _, v := range vs {
+		if v.Name == "optimized" && v.Ref {
+			t.Fatal("the optimized variant must run at every scale")
+		}
+		if v.Ref {
+			refCount++
+		}
+	}
+	if refCount == 0 {
+		t.Fatal("no variant is subject to the reference cap")
+	}
+}

@@ -49,7 +49,7 @@ type Result struct {
 // with the highest gain-per-cost ratio; stop when nothing feasible has
 // positive gain.
 func Greedy(cands []Candidate, o Oracle) Result {
-	var res Result
+	res := Result{Chosen: make([]Candidate, 0, len(cands))}
 	remaining := append([]Candidate(nil), cands...)
 	for {
 		bestIdx := -1
@@ -87,7 +87,7 @@ func Greedy(cands []Candidate, o Oracle) Result {
 func LazyGreedy(cands []Candidate, o Oracle) Result {
 	var res Result
 	pq := make(lazyHeap, 0, len(cands))
-	for _, c := range cands {
+	for idx, c := range cands {
 		if !o.Feasible(c) {
 			continue
 		}
@@ -96,9 +96,10 @@ func LazyGreedy(cands []Candidate, o Oracle) Result {
 		if g <= 0 {
 			continue
 		}
-		pq = append(pq, lazyEntry{c: c, ratio: g / math.Max(o.Cost(c), 1e-12)})
+		pq = append(pq, lazyEntry{c: c, idx: idx, ratio: g / math.Max(o.Cost(c), 1e-12)})
 	}
 	heap.Init(&pq)
+	res.Chosen = make([]Candidate, 0, pq.Len())
 	round := 0
 	for pq.Len() > 0 {
 		top := pq[0]
@@ -129,17 +130,28 @@ func LazyGreedy(cands []Candidate, o Oracle) Result {
 
 type lazyEntry struct {
 	c     Candidate
+	idx   int // position in the original cands slice
 	ratio float64
 	round int
 }
 
 type lazyHeap []lazyEntry
 
-func (h lazyHeap) Len() int            { return len(h) }
-func (h lazyHeap) Less(i, j int) bool  { return h[i].ratio > h[j].ratio }
-func (h lazyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *lazyHeap) Push(x interface{}) { *h = append(*h, x.(lazyEntry)) }
-func (h *lazyHeap) Pop() interface{} {
+func (h lazyHeap) Len() int { return len(h) }
+
+// Less orders by ratio descending, breaking exact ties by original
+// candidate index ascending — the same first-max-wins rule the literal
+// Greedy re-scan applies, so the two evaluators commit identical
+// sequences even when distinct candidates tie exactly.
+func (h lazyHeap) Less(i, j int) bool {
+	if h[i].ratio != h[j].ratio {
+		return h[i].ratio > h[j].ratio
+	}
+	return h[i].idx < h[j].idx
+}
+func (h lazyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *lazyHeap) Push(x any)   { *h = append(*h, x.(lazyEntry)) }
+func (h *lazyHeap) Pop() any {
 	old := *h
 	n := len(old)
 	it := old[n-1]
