@@ -21,6 +21,7 @@ import (
 	"idde/internal/mobility"
 	"idde/internal/model"
 	"idde/internal/online"
+	"idde/internal/placement"
 	"idde/internal/power"
 	"idde/internal/repair"
 	"idde/internal/rng"
@@ -518,6 +519,82 @@ func BenchmarkPhase1Solve(b *testing.B) {
 			}
 			b.ReportMetric(float64(st.Updates), "updates")
 			b.ReportMetric(float64(st.Evaluations), "evals")
+		})
+	}
+}
+
+// --- Phase 2 perf-trajectory benches -------------------------------
+//
+// The tracked baseline lives in BENCH_phase2.json (regenerate with
+// `go run ./cmd/iddebench -perf2json BENCH_phase2.json`); the benches
+// below cover the request-heavy ladder (M/N = 40) through
+// `go test -bench` at CI-affordable scales.
+
+// perfScale2 builds the Phase 2 ladder instance for M users along with
+// its Phase 1 equilibrium allocation (solved outside every timer).
+func perfScale2(b *testing.B, m int) (*model.Instance, model.Allocation) {
+	b.Helper()
+	n := m / 40
+	if n < 10 {
+		n = 10
+	}
+	in, err := experiment.BuildInstance(experiment.Params{N: n, M: m, K: 5, Density: 1.0}, 2022)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alloc, _ := core.SolvePhase1(in, core.DefaultOptions())
+	return in, alloc
+}
+
+// BenchmarkLatencyGain measures one Eq. 17 marginal-gain evaluation
+// under the cohort-aggregated suffix query versus the per-request
+// reference walk, on an identical pre-commit state.
+func BenchmarkLatencyGain(b *testing.B) {
+	for _, m := range []int{400, 2000} {
+		in, alloc := perfScale2(b, m)
+		for _, mode := range []struct {
+			name string
+			ls   model.DeliveryOracle
+		}{
+			{"cohort", model.NewCohortLatencyState(in, alloc)},
+			{"naive", model.NewLatencyState(in, alloc)},
+		} {
+			b.Run(fmt.Sprintf("%s/M=%d", mode.name, m), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_ = mode.ls.GainOf(i%in.N(), i%in.K())
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPhase2Solve is the Phase 2 headline trajectory: the
+// optimized engine (cohort oracle + parallel-seeded CELF) against the
+// naive-oracle CELF run and the literal re-scan reference at the
+// CI-affordable scales (the M=4000 points live in BENCH_phase2.json).
+func BenchmarkPhase2Solve(b *testing.B) {
+	seq := placement.NewOptions(placement.Options{})
+	cases := []struct {
+		name string
+		m    int
+		opt  core.Options
+	}{
+		{"optimized/M=400", 400, core.Options{}},
+		{"optimized/M=1000", 1000, core.Options{}},
+		{"optimized/M=2000", 2000, core.Options{}},
+		{"naive-oracle/M=400", 400, core.Options{NaiveLatency: true, Placement: seq}},
+		{"naive-oracle/M=1000", 1000, core.Options{NaiveLatency: true, Placement: seq}},
+		{"reference/M=400", 400, core.Options{NaiveLatency: true, NaiveGreedy: true, Placement: seq}},
+	}
+	for _, c := range cases {
+		in, alloc := perfScale2(b, c.m)
+		b.Run(c.name, func(b *testing.B) {
+			var pres placement.Result
+			for i := 0; i < b.N; i++ {
+				_, pres = core.SolveDeliveryOpt(in, alloc, c.opt)
+			}
+			b.ReportMetric(float64(len(pres.Chosen)), "replicas")
+			b.ReportMetric(float64(pres.Evaluations), "evals")
 		})
 	}
 }

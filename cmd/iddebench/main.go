@@ -17,6 +17,7 @@
 // Performance tracking:
 //
 //	iddebench -perfjson BENCH_phase1.json            # regenerate the Phase 1 perf baseline
+//	iddebench -perf2json BENCH_phase2.json           # regenerate the Phase 2 perf baseline
 //	iddebench -perfjson out.json -perftime 250ms     # quick CI smoke variant
 //	iddebench -fig 4 -cpuprofile cpu.pb.gz           # pprof any run
 package main
@@ -57,9 +58,10 @@ func realMain() error {
 		outDir   = flag.String("out", "", "directory for CSV output (optional)")
 		list     = flag.Bool("list", false, "print Table 2 and exit")
 		plot     = flag.Bool("plot", false, "also render terminal plots of each figure")
-		perfJSON = flag.String("perfjson", "", "write the Phase 1 perf baseline to this file and exit (skips the figures)")
-		perfTime = flag.Duration("perftime", 2*time.Second, "per-case time budget for -perfjson")
-		perfMaxM = flag.Int("perfmaxm", 0, "skip perf scales with more than this many users (0 = full ladder; CI smoke uses a low cap)")
+		perfJSON  = flag.String("perfjson", "", "write the Phase 1 perf baseline to this file and exit (skips the figures)")
+		perf2JSON = flag.String("perf2json", "", "write the Phase 2 perf baseline to this file and exit (skips the figures)")
+		perfTime  = flag.Duration("perftime", 2*time.Second, "per-case time budget for -perfjson/-perf2json")
+		perfMaxM  = flag.Int("perfmaxm", 0, "skip perf scales with more than this many users (0 = full ladder; CI smoke uses a low cap)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -84,6 +86,8 @@ func realMain() error {
 	var err error
 	if *perfJSON != "" {
 		err = runPerf(*perfJSON, *perfTime, *seed, *perfMaxM)
+	} else if *perf2JSON != "" {
+		err = runPerf2(*perf2JSON, *perfTime, *seed, *perfMaxM)
 	} else {
 		err = run(*fig, *reps, *seed, *ipBudget, *noIP, *outDir, *plot)
 	}
@@ -134,6 +138,41 @@ func runPerf(path string, budget time.Duration, seed uint64, maxM int) error {
 	for _, m := range []int{100, 500, 2000} {
 		if s, ok := rep.Speedups[fmt.Sprintf("SolvePhase1/M=%d", m)]; ok {
 			fmt.Printf("SolvePhase1 speedup at M=%d: %.1fx\n", m, s)
+		}
+	}
+	fmt.Printf("wrote %s (%d records)\n", path, len(rep.Records))
+	return nil
+}
+
+// runPerf2 regenerates the tracked Phase 2 performance baseline.
+func runPerf2(path string, budget time.Duration, seed uint64, maxM int) error {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	scales := perfbench.Phase2Scales()
+	if maxM > 0 {
+		var kept []experiment.Params
+		for _, p := range scales {
+			if p.M <= maxM {
+				kept = append(kept, p)
+			}
+		}
+		scales = kept
+	}
+	rep, err := perfbench.RunPhase2Scales(scales, budget, seed, logf)
+	if err != nil {
+		return err
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	for _, p := range scales {
+		if s, ok := rep.Speedups[fmt.Sprintf("SolveDelivery/M=%d", p.M)]; ok {
+			fmt.Printf("SolveDelivery speedup at M=%d: %.1fx\n", p.M, s)
 		}
 	}
 	fmt.Printf("wrote %s (%d records)\n", path, len(rep.Records))

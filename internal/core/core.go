@@ -43,6 +43,17 @@ type Options struct {
 	// summation order; used for differential tests, drift-sensitive
 	// debugging and the perf baseline.
 	NaiveInterference bool
+	// NaiveLatency switches the Phase 2 oracle from the cohort-aggregated
+	// suffix queries back to the per-request LatencyState walk. Gains
+	// agree up to floating-point summation order and the committed
+	// replica sequences are identical; used for differential tests and
+	// the Phase 2 perf baseline.
+	NaiveLatency bool
+	// Placement configures the Phase 2 greedy engine (parallel seed
+	// scan). The zero value is replaced by placement.DefaultOptions();
+	// an intentionally all-zero configuration must carry
+	// placement.Options.Set (see placement.NewOptions) to be preserved.
+	Placement placement.Options
 }
 
 // DefaultOptions returns the configuration used in the experiments.
@@ -52,13 +63,21 @@ func DefaultOptions() Options {
 
 // ReferenceOptions returns the unoptimized literal-Algorithm-1
 // configuration: full-scan rounds (no dirty-set scheduling) over the
-// naive O(occupancy) interference evaluator. It is behavior-identical
-// to DefaultOptions up to floating-point summation order and serves as
-// the differential-test and perf-baseline reference.
+// naive O(occupancy) interference evaluator, and the literal Phase 2
+// argmax re-scan over the per-request latency walk with sequential
+// seeding. It is behavior-identical to DefaultOptions up to
+// floating-point summation order and serves as the differential-test
+// and perf-baseline reference.
 func ReferenceOptions() Options {
 	g := game.DefaultOptions()
 	g.FullScan = true
-	return Options{Game: g, NaiveInterference: true}
+	return Options{
+		Game:              g,
+		NaiveInterference: true,
+		NaiveGreedy:       true,
+		NaiveLatency:      true,
+		Placement:         placement.NewOptions(placement.Options{}),
+	}
 }
 
 // resolveGameOptions replaces an unset zero-value game.Options with the
@@ -67,6 +86,14 @@ func ReferenceOptions() Options {
 func resolveGameOptions(o game.Options) game.Options {
 	if o == (game.Options{}) {
 		return game.DefaultOptions()
+	}
+	return o
+}
+
+// resolvePlacementOptions is the placement.Options analogue.
+func resolvePlacementOptions(o placement.Options) placement.Options {
+	if o == (placement.Options{}) {
+		return placement.DefaultOptions()
 	}
 	return o
 }
@@ -128,7 +155,7 @@ func Solve(in *model.Instance, opt Options) *Result {
 
 	// Phase 2 — greedy data delivery profile.
 	t1 := time.Now()
-	delivery, pres := solveDelivery(in, alloc, opt.NaiveGreedy)
+	delivery, pres := solveDelivery(in, alloc, opt)
 	res.Phase2Time = time.Since(t1)
 
 	res.Strategy = model.Strategy{Alloc: alloc, Delivery: delivery}
@@ -141,28 +168,53 @@ func Solve(in *model.Instance, opt Options) *Result {
 }
 
 // SolveDelivery exposes Phase 2 alone for a caller-supplied allocation
-// (the CDP baseline reuses it with its own allocation rule).
+// (the CDP baseline reuses it with its own allocation rule). The naive
+// flag toggles the greedy engine only (literal re-scan vs CELF); both
+// run the cohort oracle, so their gains — not just their sequences —
+// match exactly. Use SolveDeliveryOpt for full oracle/engine control.
 func SolveDelivery(in *model.Instance, alloc model.Allocation, naive bool) (*model.Delivery, placement.Result) {
-	return solveDelivery(in, alloc, naive)
+	return solveDelivery(in, alloc, Options{NaiveGreedy: naive})
 }
 
-func solveDelivery(in *model.Instance, alloc model.Allocation, naive bool) (*model.Delivery, placement.Result) {
+// SolveDeliveryOpt exposes Phase 2 alone with the full Options surface:
+// oracle choice (NaiveLatency), greedy engine (NaiveGreedy) and seed
+// scan configuration (Placement).
+func SolveDeliveryOpt(in *model.Instance, alloc model.Allocation, opt Options) (*model.Delivery, placement.Result) {
+	return solveDelivery(in, alloc, opt)
+}
+
+func solveDelivery(in *model.Instance, alloc model.Allocation, opt Options) (*model.Delivery, placement.Result) {
 	oracle := &deliveryOracle{
 		in: in,
-		ls: model.NewLatencyState(in, alloc),
 		d:  model.NewDelivery(in.N(), in.K()),
+	}
+	if opt.NaiveLatency {
+		oracle.ls = model.NewLatencyState(in, alloc)
+	} else {
+		oracle.ls = model.NewCohortLatencyState(in, alloc)
+	}
+	// Skip items nobody requests: their gain is identically zero, so
+	// they can never be committed — no need to seed or re-scan them.
+	requested := make([]bool, in.K())
+	for _, items := range in.Wl.Requests {
+		for _, k := range items {
+			requested[k] = true
+		}
 	}
 	cands := make([]placement.Candidate, 0, in.N()*in.K())
 	for i := 0; i < in.N(); i++ {
 		for k := 0; k < in.K(); k++ {
+			if !requested[k] {
+				continue
+			}
 			cands = append(cands, placement.Candidate{Server: i, Item: k})
 		}
 	}
 	var pres placement.Result
-	if naive {
+	if opt.NaiveGreedy {
 		pres = placement.Greedy(cands, oracle)
 	} else {
-		pres = placement.LazyGreedy(cands, oracle)
+		pres = placement.LazyGreedyOpt(cands, oracle, resolvePlacementOptions(opt.Placement))
 	}
 	return oracle.d, pres
 }
@@ -171,7 +223,7 @@ func solveDelivery(in *model.Instance, alloc model.Allocation, naive bool) (*mod
 // profile to the placement engine.
 type deliveryOracle struct {
 	in *model.Instance
-	ls *model.LatencyState
+	ls model.DeliveryOracle
 	d  *model.Delivery
 }
 

@@ -1,0 +1,255 @@
+package model
+
+import (
+	"sort"
+
+	"idde/internal/units"
+)
+
+// DeliveryOracle is the Phase 2 marginal-gain oracle contract shared by
+// the optimized cohort-aggregated state and the per-request reference
+// walk (LatencyState). Both expose Eq. 17 marginal gains and commits
+// over a growing delivery profile for a fixed allocation; they differ
+// only in evaluation cost and floating-point summation order.
+type DeliveryOracle interface {
+	// GainOf reports the total latency reduction of adding replica
+	// σ_{i,k}=1 (the numerator of Eq. 17).
+	GainOf(i, k int) units.Seconds
+	// Commit applies replica σ_{i,k}=1 and returns the realized gain.
+	Commit(i, k int) units.Seconds
+	// Requests reports the total request count (denominator of Eq. 9).
+	Requests() int
+	// Total reports Σ_j Σ_k ζ_{j,k}·L_{j,k} (numerator of Eq. 9).
+	Total() units.Seconds
+	// Avg reports Eq. (9) under the committed profile.
+	Avg() units.Seconds
+}
+
+var (
+	_ DeliveryOracle = (*LatencyState)(nil)
+	_ DeliveryOracle = (*CohortLatencyState)(nil)
+)
+
+// cohort groups the requests for one item that share a serving server a.
+// Eq. 8 factorizes as EdgeLatency(k,o,a) = PathCost[o][a]·size_k, so
+// every request in the cohort sees the same latency from any replica and
+// their current latencies evolve through the same sequence of minima.
+// The multiset of current values is kept sorted ascending with prefix
+// sums, so a candidate's contribution at threshold t is a suffix query:
+// Σ_{cur > t}(cur − t) = suffixSum(t) − suffixCount(t)·t.
+type cohort struct {
+	// server is the serving server a shared by the cohort's requests.
+	server int
+	// vals are the current request latencies, sorted ascending.
+	vals []float64
+	// pre are prefix sums over vals: pre[x] = Σ vals[:x] (len(vals)+1).
+	pre []float64
+}
+
+// cohortHot is the cache-resident summary the GainOf hot loop reads: in
+// the factorized model commits collapse whole suffixes, so cohorts are
+// uniform (lo == hi) in practice and a candidate either improves the
+// entire cohort or none of it. Both cases resolve from this 32-byte
+// record — one threshold compare plus at most one fused multiply-add —
+// without touching the multiset; only a genuinely split cohort (lo < t
+// < hi) falls back to the binary search over vals/pre.
+type cohortHot struct {
+	server int32
+	n      int32
+	lo     float64 // vals[0]
+	hi     float64 // vals[n-1]
+	sum    float64 // pre[n], copied bitwise so full-cohort gains match
+}
+
+// suffixStart returns the first index whose value strictly exceeds t —
+// the boundary of the improved suffix for a replica at threshold t. The
+// extreme cases are resolved without a search because commits collapse
+// the improved suffix to a single value, keeping cohorts near-uniform:
+// in the factorized model every cohort is either fully above or fully
+// below any threshold, so the binary search is only the general-case
+// fallback.
+func (c *cohort) suffixStart(t float64) int {
+	n := len(c.vals)
+	if t >= c.vals[n-1] {
+		return n // nothing improves
+	}
+	if t < c.vals[0] {
+		return 0 // the whole cohort improves
+	}
+	return sort.Search(n, func(x int) bool { return c.vals[x] > t })
+}
+
+// CohortLatencyState is the optimized Phase 2 latency oracle: the same
+// incremental Eq. 8/Eq. 17 semantics as LatencyState, evaluated in
+// O(cohorts-of-item · log requests) per GainOf instead of
+// O(requests-of-item). Requests are grouped by (item, serving server);
+// unallocated users' requests are pinned at cloud latency forever (the
+// edge option of Eq. 8 is +Inf for them) and therefore never enter a
+// cohort — they only contribute to the Requests/Total accounting.
+//
+// Gains are bit-identical to LatencyState's: the reference walk groups
+// its per-request fold by serving server in the same ascending order
+// and applies the same sum−count·t arithmetic (see the LatencyState
+// type comment), so even mathematically tied candidates resolve the
+// same way on both paths and the committed replica sequences match
+// exactly. The differential suites pin both properties down.
+type CohortLatencyState struct {
+	in *Instance
+	// cohorts[k] lists item k's cohorts, ascending by serving server.
+	cohorts [][]cohort
+	// hot[k] is the parallel contiguous summary array read by GainOf.
+	hot      [][]cohortHot
+	requests int
+	total    float64
+}
+
+// NewCohortLatencyState builds the cohort oracle for the given
+// allocation with an empty delivery profile. The per-item vals/pre
+// slices are carved out of two backing arrays, so construction costs a
+// handful of allocations per item rather than two per cohort.
+func NewCohortLatencyState(in *Instance, alloc Allocation) *CohortLatencyState {
+	ls := &CohortLatencyState{
+		in:      in,
+		cohorts: make([][]cohort, in.K()),
+		hot:     make([][]cohortHot, in.K()),
+	}
+	// counts[k][a] = requests for item k served by server a. The request
+	// walk below mirrors LatencyState's j-order accumulation so the two
+	// totals agree bitwise.
+	counts := make([][]int, in.K())
+	for j, items := range in.Wl.Requests {
+		a := alloc[j]
+		for _, k := range items {
+			ls.requests++
+			ls.total += float64(in.CloudLatency(k))
+			if !a.Allocated() {
+				continue
+			}
+			if counts[k] == nil {
+				counts[k] = make([]int, in.N())
+			}
+			counts[k][a.Server]++
+		}
+	}
+	for k := range counts {
+		if counts[k] == nil {
+			continue
+		}
+		cloud := float64(in.CloudLatency(k))
+		nc, tot := 0, 0
+		for _, cnt := range counts[k] {
+			if cnt > 0 {
+				nc++
+				tot += cnt
+			}
+		}
+		cs := make([]cohort, 0, nc)
+		hs := make([]cohortHot, 0, nc)
+		valsBuf := make([]float64, tot)
+		preBuf := make([]float64, tot+nc)
+		vo, po := 0, 0
+		for a, cnt := range counts[k] {
+			if cnt == 0 {
+				continue
+			}
+			c := cohort{
+				server: a,
+				vals:   valsBuf[vo : vo+cnt : vo+cnt],
+				pre:    preBuf[po : po+cnt+1 : po+cnt+1],
+			}
+			vo, po = vo+cnt, po+cnt+1
+			for x := 0; x < cnt; x++ {
+				c.vals[x] = cloud
+				c.pre[x+1] = c.pre[x] + cloud
+			}
+			cs = append(cs, c)
+			hs = append(hs, cohortHot{
+				server: int32(a), n: int32(cnt),
+				lo: cloud, hi: cloud, sum: c.pre[cnt],
+			})
+		}
+		ls.cohorts[k] = cs
+		ls.hot[k] = hs
+	}
+	return ls
+}
+
+// Requests reports the total request count (the denominator of Eq. 9).
+func (ls *CohortLatencyState) Requests() int { return ls.requests }
+
+// Total reports Σ_j Σ_k ζ_{j,k}·L_{j,k}, the numerator of Eq. 9.
+func (ls *CohortLatencyState) Total() units.Seconds { return units.Seconds(ls.total) }
+
+// Avg reports Eq. (9), the average data delivery latency.
+func (ls *CohortLatencyState) Avg() units.Seconds {
+	if ls.requests == 0 {
+		return 0
+	}
+	return units.Seconds(ls.total / float64(ls.requests))
+}
+
+// GainOf reports the total latency reduction of adding replica
+// σ_{i,k}=1: for each cohort the threshold t = PathCost[i][a]·size_k is
+// one multiplication against the hoisted path-cost row, and the
+// improved suffix resolves from the cohortHot summary (whole cohort or
+// nothing) with a prefix-sum fallback for split cohorts. Safe for
+// concurrent invocation between Commits.
+func (ls *CohortLatencyState) GainOf(i, k int) units.Seconds {
+	row := ls.in.Top.PathCost[i]
+	size := float64(ls.in.Wl.Items[k].Size)
+	var gain float64
+	hots := ls.hot[k]
+	for hi := range hots {
+		h := &hots[hi]
+		t := float64(row[h.server]) * size
+		if t >= h.hi {
+			continue // nothing improves
+		}
+		if t < h.lo {
+			gain += h.sum - float64(h.n)*t // the whole cohort improves
+			continue
+		}
+		c := &ls.cohorts[k][hi]
+		n := len(c.vals)
+		idx := sort.Search(n, func(x int) bool { return c.vals[x] > t })
+		gain += (c.pre[n] - c.pre[idx]) - float64(n-idx)*t
+	}
+	return units.Seconds(gain)
+}
+
+// Commit applies replica σ_{i,k}=1, re-bucketing only the improved
+// requests: each cohort's suffix above the threshold collapses to the
+// threshold value, which preserves sortedness, the prefix sums are
+// rebuilt from the collapse point only, and the cohortHot summary is
+// refreshed.
+func (ls *CohortLatencyState) Commit(i, k int) units.Seconds {
+	row := ls.in.Top.PathCost[i]
+	size := float64(ls.in.Wl.Items[k].Size)
+	var gain float64
+	hots := ls.hot[k]
+	for hi := range hots {
+		h := &hots[hi]
+		t := float64(row[h.server]) * size
+		if t >= h.hi {
+			continue
+		}
+		c := &ls.cohorts[k][hi]
+		n := len(c.vals)
+		idx := 0
+		if t >= h.lo {
+			idx = sort.Search(n, func(x int) bool { return c.vals[x] > t })
+		}
+		gain += (c.pre[n] - c.pre[idx]) - float64(n-idx)*t
+		for x := idx; x < n; x++ {
+			c.vals[x] = t
+			c.pre[x+1] = c.pre[x] + t
+		}
+		if idx == 0 {
+			h.lo = t
+		}
+		h.hi = t
+		h.sum = c.pre[n]
+	}
+	ls.total -= gain
+	return units.Seconds(gain)
+}

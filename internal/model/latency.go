@@ -2,7 +2,6 @@ package model
 
 import (
 	"fmt"
-	"math"
 
 	"idde/internal/units"
 )
@@ -12,13 +11,29 @@ type request struct {
 	j, k int
 }
 
+// itemGroup indexes one item's requests that share a serving server —
+// the same partition the cohort oracle aggregates over.
+type itemGroup struct {
+	server int
+	reqs   []int // indices into LatencyState.reqs / .cur
+}
+
 // LatencyState incrementally tracks, for a fixed allocation profile and
 // a growing delivery profile, every request's current best delivery
-// latency (Eq. 8) and their sum. It is the oracle behind the greedy
-// Phase 2 rule (Eq. 17): the marginal latency reduction of a candidate
-// replica is computed in time proportional to the number of requests for
-// that item, and committing a replica updates the state in the same
+// latency (Eq. 8) and their sum. It is the per-request reference oracle
+// behind the greedy Phase 2 rule (Eq. 17): the marginal latency
+// reduction of a candidate replica is computed by walking every request
+// for that item, and committing a replica updates the state in the same
 // time.
+//
+// The walk visits requests grouped by serving server, ascending, and
+// folds each group's current latencies before subtracting count·t —
+// exactly the operations (and order) the cohort oracle's prefix sums
+// perform. Within a group every request carries the same current value
+// (they share one latency trajectory), so the two evaluators produce
+// bit-identical gains: a last-ulp divergence would otherwise flip
+// argmax decisions between the optimized and reference paths whenever
+// two candidates tie mathematically.
 //
 // Requests start at their cloud latency (σ_{cloud,k}=1 per Eq. 7), so
 // the "latency constraint" — an edge replica is only ever used when it
@@ -27,8 +42,11 @@ type LatencyState struct {
 	in    *Instance
 	alloc Allocation
 	reqs  []request
-	// byItem[k] indexes reqs by requested item.
-	byItem [][]int
+	// groups[k] partitions item k's allocated requests by serving
+	// server, ascending. Unallocated users' requests are absent (their
+	// Eq. 8 edge option is +Inf, so they never improve); they still
+	// count in reqs and total.
+	groups [][]itemGroup
 	cur    []units.Seconds
 	total  float64
 }
@@ -39,13 +57,28 @@ func NewLatencyState(in *Instance, alloc Allocation) *LatencyState {
 	ls := &LatencyState{
 		in:     in,
 		alloc:  alloc.Clone(),
-		byItem: make([][]int, in.K()),
+		groups: make([][]itemGroup, in.K()),
 	}
+	byServer := make([][][]int, in.K()) // item → server → request indices
 	for j, items := range in.Wl.Requests {
+		a := ls.alloc[j]
 		for _, k := range items {
 			idx := len(ls.reqs)
 			ls.reqs = append(ls.reqs, request{j: j, k: k})
-			ls.byItem[k] = append(ls.byItem[k], idx)
+			if !a.Allocated() {
+				continue
+			}
+			if byServer[k] == nil {
+				byServer[k] = make([][]int, in.N())
+			}
+			byServer[k][a.Server] = append(byServer[k][a.Server], idx)
+		}
+	}
+	for k := range byServer {
+		for a, idxs := range byServer[k] {
+			if len(idxs) > 0 {
+				ls.groups[k] = append(ls.groups[k], itemGroup{server: a, reqs: idxs})
+			}
 		}
 	}
 	ls.cur = make([]units.Seconds, len(ls.reqs))
@@ -71,26 +104,25 @@ func (ls *LatencyState) Avg() units.Seconds {
 	return units.Seconds(ls.total / float64(len(ls.reqs)))
 }
 
-// latencyVia reports the Eq. 8 latency of serving request r from a
-// replica on server o: the item moves over the wired network to the
-// user's serving server. Unallocated users cannot be served from the
-// edge (they have no serving server), so the edge option is +Inf.
-func (ls *LatencyState) latencyVia(r request, o int) units.Seconds {
-	a := ls.alloc[r.j]
-	if !a.Allocated() {
-		return units.Seconds(math.Inf(1))
-	}
-	return ls.in.EdgeLatency(r.k, o, a.Server)
-}
-
 // GainOf reports the total latency reduction (over all requests) of
 // adding replica σ_{i,k}=1 to the current delivery profile — the
-// numerator of Eq. 17.
+// numerator of Eq. 17. Per serving-server group: fold the improved
+// requests' current latencies, then subtract count·t (see the type
+// comment for why the grouping matters).
 func (ls *LatencyState) GainOf(i, k int) units.Seconds {
 	var gain float64
-	for _, idx := range ls.byItem[k] {
-		if nl := ls.latencyVia(ls.reqs[idx], i); nl < ls.cur[idx] {
-			gain += float64(ls.cur[idx] - nl)
+	for _, g := range ls.groups[k] {
+		t := ls.in.EdgeLatency(k, i, g.server)
+		var sum float64
+		n := 0
+		for _, idx := range g.reqs {
+			if ls.cur[idx] > t {
+				sum += float64(ls.cur[idx])
+				n++
+			}
+		}
+		if n > 0 {
+			gain += sum - float64(n)*float64(t)
 		}
 	}
 	return units.Seconds(gain)
@@ -101,10 +133,19 @@ func (ls *LatencyState) GainOf(i, k int) units.Seconds {
 // call made immediately before).
 func (ls *LatencyState) Commit(i, k int) units.Seconds {
 	var gain float64
-	for _, idx := range ls.byItem[k] {
-		if nl := ls.latencyVia(ls.reqs[idx], i); nl < ls.cur[idx] {
-			gain += float64(ls.cur[idx] - nl)
-			ls.cur[idx] = nl
+	for _, g := range ls.groups[k] {
+		t := ls.in.EdgeLatency(k, i, g.server)
+		var sum float64
+		n := 0
+		for _, idx := range g.reqs {
+			if ls.cur[idx] > t {
+				sum += float64(ls.cur[idx])
+				n++
+				ls.cur[idx] = t
+			}
+		}
+		if n > 0 {
+			gain += sum - float64(n)*float64(t)
 		}
 	}
 	ls.total -= gain

@@ -32,16 +32,16 @@ type Ledger struct {
 	// power[i][x] is Σ p_t over those users.
 	power [][]units.Watts
 
-	// chanOff[o] is the offset of server o's channel block on the
-	// flattened (source server, channel) axis; chanTotal is Σ_o channels.
-	chanOff   []int
-	chanTotal int
 	// agg[i] points at the lazily built receiver-i aggregate row:
-	// row[chanOff[o]+x] = Σ_{t∈users[o][x]} Gain[i][t]·p_t. Rows are
-	// published atomically so concurrent best-response scans may fault
-	// them in; Move (single-writer by the Adapter contract) updates only
-	// rows that exist.
-	agg   []atomic.Pointer[[]float64]
+	// vals[srcOff[o]+x] = Σ_{t∈users[o][x]} Gain[i][t]·p_t, restricted
+	// to sources o that co-cover a user with i — the only sources the
+	// Eq. 2 Coverage walk can pair with receiver i, so a row costs
+	// O(co-covering channels) instead of O(all channels), which is what
+	// keeps aggregate memory flat at N≥1000 under local coverage. Rows
+	// are published atomically so concurrent best-response scans may
+	// fault them in; Move (single-writer by the Adapter contract)
+	// updates only rows that exist.
+	agg   []atomic.Pointer[aggRowData]
 	aggMu sync.Mutex
 	// naive switches interCell to the O(occupancy) reference scan.
 	naive bool
@@ -50,19 +50,16 @@ type Ledger struct {
 // NewLedger builds a ledger over a copy of the given profile.
 func NewLedger(in *Instance, alloc Allocation) *Ledger {
 	l := &Ledger{
-		in:      in,
-		alloc:   alloc.Clone(),
-		users:   make([][][]int, in.N()),
-		power:   make([][]units.Watts, in.N()),
-		chanOff: make([]int, in.N()),
-		agg:     make([]atomic.Pointer[[]float64], in.N()),
+		in:    in,
+		alloc: alloc.Clone(),
+		users: make([][][]int, in.N()),
+		power: make([][]units.Watts, in.N()),
+		agg:   make([]atomic.Pointer[aggRowData], in.N()),
 	}
 	for i := 0; i < in.N(); i++ {
 		c := in.Top.Servers[i].Channels
 		l.users[i] = make([][]int, c)
 		l.power[i] = make([]units.Watts, c)
-		l.chanOff[i] = l.chanTotal
-		l.chanTotal += c
 	}
 	for j, d := range l.alloc {
 		if d.Allocated() {
@@ -117,18 +114,23 @@ func (l *Ledger) Move(j int, a Alloc) {
 	l.aggMove(j, cur, a)
 }
 
+// aggRowData is one receiver's aggregate row, restricted to the sources
+// that can ever be paired with it by the Eq. 2 Coverage walk.
+type aggRowData struct {
+	// srcOff[o] is the offset of source o's channel block in vals, or
+	// -1 when o never co-covers a user with the receiver. Such cells
+	// are only reachable through off-coverage hypotheticals, which
+	// interCell serves with a single-cell reference walk instead.
+	srcOff []int32
+	vals   []float64
+}
+
 // aggMove folds user j's contribution Gain[i][j]·p_j out of (from) and
-// into (to) every built receiver row.
+// into (to) every built receiver row. Cells outside a row's co-covering
+// source set are simply absent and skipped.
 func (l *Ledger) aggMove(j int, from, to Alloc) {
 	if l.naive {
 		return
-	}
-	fromIdx, toIdx := -1, -1
-	if from.Allocated() {
-		fromIdx = l.chanOff[from.Server] + from.Channel
-	}
-	if to.Allocated() {
-		toIdx = l.chanOff[to.Server] + to.Channel
 	}
 	// Invariant: a built cell always equals the left-to-right fold of
 	// Gain[i][t]·p_t over the current users[o][x] list — exactly what a
@@ -139,55 +141,90 @@ func (l *Ledger) aggMove(j int, from, to Alloc) {
 	// which can dwarf the remaining sum and flip argmax decisions
 	// against the reference path on near-empty channels.
 	var fromUsers []int
-	if fromIdx >= 0 {
+	if from.Allocated() {
 		fromUsers = l.users[from.Server][from.Channel]
 	}
 	p := float64(l.in.Top.Users[j].Power)
 	for i := range l.agg {
-		rp := l.agg[i].Load()
-		if rp == nil {
+		d := l.agg[i].Load()
+		if d == nil {
 			continue
 		}
-		row := *rp
 		gi := l.in.Gain[i]
-		if fromIdx >= 0 {
-			var sum float64
-			for _, t := range fromUsers {
-				sum += gi[t] * float64(l.in.Top.Users[t].Power)
+		if from.Allocated() {
+			if off := d.srcOff[from.Server]; off >= 0 {
+				var sum float64
+				for _, t := range fromUsers {
+					sum += gi[t] * float64(l.in.Top.Users[t].Power)
+				}
+				d.vals[int(off)+from.Channel] = sum
 			}
-			row[fromIdx] = sum
 		}
-		if toIdx >= 0 {
-			row[toIdx] += gi[j] * p
+		if to.Allocated() {
+			if off := d.srcOff[to.Server]; off >= 0 {
+				d.vals[int(off)+to.Channel] += gi[j] * p
+			}
 		}
 	}
 }
 
-// aggRow returns the receiver-i aggregate row, building it on first use.
-// Safe for concurrent callers between Moves.
-func (l *Ledger) aggRow(i int) []float64 {
-	if rp := l.agg[i].Load(); rp != nil {
-		return *rp
+// aggRow returns the receiver-i aggregate row, building it on first use
+// over the co-covering sources only: the union of Coverage[j] across
+// users j that server i covers. Safe for concurrent callers between
+// Moves.
+func (l *Ledger) aggRow(i int) *aggRowData {
+	if d := l.agg[i].Load(); d != nil {
+		return d
 	}
 	l.aggMu.Lock()
 	defer l.aggMu.Unlock()
-	if rp := l.agg[i].Load(); rp != nil {
-		return *rp
+	if d := l.agg[i].Load(); d != nil {
+		return d
 	}
-	row := make([]float64, l.chanTotal)
+	d := &aggRowData{srcOff: make([]int32, l.in.N())}
+	for o := range d.srcOff {
+		d.srcOff[o] = -1
+	}
+	for _, cov := range l.in.Top.Coverage {
+		covered := false
+		for _, o := range cov {
+			if o == i {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		for _, o := range cov {
+			d.srcOff[o] = 0 // mark; offsets assigned below
+		}
+	}
+	var width int32
+	for o := range d.srcOff {
+		if d.srcOff[o] < 0 {
+			continue
+		}
+		d.srcOff[o] = width
+		width += int32(l.in.Top.Servers[o].Channels)
+	}
+	d.vals = make([]float64, width)
 	gi := l.in.Gain[i]
 	for o := range l.users {
-		off := l.chanOff[o]
+		off := d.srcOff[o]
+		if off < 0 {
+			continue
+		}
 		for x, us := range l.users[o] {
 			var sum float64
 			for _, t := range us {
 				sum += gi[t] * float64(l.in.Top.Users[t].Power)
 			}
-			row[off+x] = sum
+			d.vals[int(off)+x] = sum
 		}
 	}
-	l.agg[i].Store(&row)
-	return row
+	l.agg[i].Store(d)
+	return d
 }
 
 func (l *Ledger) remove(j int, a Alloc) {
@@ -215,14 +252,30 @@ func (l *Ledger) interCell(j int, a Alloc) units.Watts {
 	if l.naive {
 		return l.interCellNaive(j, a)
 	}
-	row := l.aggRow(a.Server)
+	d := l.aggRow(a.Server)
 	cur := l.alloc[j]
 	var f float64
 	for _, o := range l.in.Top.Coverage[j] {
 		if o == a.Server || a.Channel >= len(l.users[o]) {
 			continue
 		}
-		f += row[l.chanOff[o]+a.Channel]
+		off := d.srcOff[o]
+		if off < 0 {
+			// Off-coverage hypothetical: a.Server does not cover j (else
+			// o would co-cover with it), so the row has no cell for o.
+			// Walk the single (o, channel) cell directly; j can't be in
+			// it under the game's coverage-constrained moves, but skip
+			// it anyway for arbitrary-caller safety.
+			gi := l.in.Gain[a.Server]
+			for _, t := range l.users[o][a.Channel] {
+				if t == j {
+					continue
+				}
+				f += gi[t] * float64(l.in.Top.Users[t].Power)
+			}
+			continue
+		}
+		f += d.vals[int(off)+a.Channel]
 		if cur.Server == o && cur.Channel == a.Channel {
 			f -= l.in.Gain[a.Server][j] * float64(l.in.Top.Users[j].Power)
 		}

@@ -36,9 +36,12 @@ const ReferenceCapM = 2000
 type Record struct {
 	// Name identifies the benchmark, e.g. "LedgerBenefit/aggregate".
 	Name string `json:"name"`
-	// N, M describe the instance scale (K=5, density=1.0 throughout).
+	// N, M describe the instance scale (density=1.0 throughout). K is
+	// recorded by the Phase 2 suite; the Phase 1 suite fixes K=5 and
+	// omits it.
 	N int `json:"n"`
 	M int `json:"m"`
+	K int `json:"k,omitempty"`
 	// Iters is the number of timed operations.
 	Iters int `json:"iters"`
 	// NsPerOp is wall-clock per operation (one Benefit evaluation, or
@@ -50,10 +53,15 @@ type Record struct {
 	// Updates/Rounds/Evaluations carry the game stats of the last solve
 	// for Phase 1 records (zero for ledger micro-benches). Updates and
 	// Rounds are invariant across engine variants at a given scale;
-	// Evaluations is the dirty-set savings metric.
+	// Evaluations is the dirty-set savings metric. The Phase 2 suite
+	// reuses Evaluations for oracle Gain calls (the CELF metric).
 	Updates     int `json:"updates,omitempty"`
 	Rounds      int `json:"rounds,omitempty"`
 	Evaluations int `json:"evaluations,omitempty"`
+	// Replicas is the committed delivery-decision count of the last
+	// solve (Phase 2 records only); invariant across variants at a
+	// given scale because all engines commit the same sequence.
+	Replicas int `json:"replicas,omitempty"`
 }
 
 // Report is the BENCH_phase1.json schema.

@@ -1,0 +1,120 @@
+package perfbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"idde/internal/experiment"
+)
+
+// TestPhase2ScalesTrajectory pins the tracked Phase 2 scale ladder:
+// request-heavy instances (M/N = 40, N capped at 100 so the top rung
+// deepens the requests-per-cohort ratio) at the Table 2 K and density.
+func TestPhase2ScalesTrajectory(t *testing.T) {
+	ps := Phase2Scales()
+	if len(ps) != 5 || ps[0].M != 400 || ps[4].M != 8000 {
+		t.Fatalf("unexpected scale ladder: %v", ps)
+	}
+	for _, p := range ps {
+		if p.K != 5 || p.Density != 1.0 {
+			t.Fatalf("K/density drifted from Table 2 defaults: %v", p)
+		}
+		if p.N < 10 || p.N > 100 {
+			t.Fatalf("N outside the [10,100] trajectory band: %v", p)
+		}
+	}
+	if ps[4].N != 100 || ps[3].N != 100 {
+		t.Fatalf("top rungs should sit at the N cap: %v", ps)
+	}
+}
+
+// TestRunPhase2Smoke verifies the Phase 2 measurement plumbing on tiny
+// instances — record shape, replica/evaluation stats, the reference cap
+// and the speedup map. The full-budget ladder run happens in
+// cmd/iddebench -perf2json.
+func TestRunPhase2Smoke(t *testing.T) {
+	scales := []experiment.Params{
+		{N: 10, M: 40, K: 5, Density: 1.0},
+		{N: 10, M: 80, K: 5, Density: 1.0},
+	}
+	rep, err := RunPhase2Scales(scales, time.Millisecond, 2022, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ReferenceCapM != ReferenceCapM {
+		t.Fatalf("reference cap not recorded: %+v", rep)
+	}
+	byKey := map[string]Record{}
+	var optimized, reference int
+	for _, r := range rep.Records {
+		if r.Iters <= 0 || r.NsPerOp <= 0 {
+			t.Fatalf("degenerate record %+v", r)
+		}
+		if r.K != 5 {
+			t.Fatalf("Phase 2 record missing K: %+v", r)
+		}
+		byKey[fmt.Sprintf("%s/M=%d", r.Name, r.M)] = r
+		switch r.Name {
+		case "SolveDelivery/optimized":
+			optimized++
+			if r.Replicas <= 0 || r.Evaluations <= 0 {
+				t.Fatalf("solve record missing delivery stats: %+v", r)
+			}
+		case "SolveDelivery/reference":
+			reference++
+		}
+	}
+	if optimized != len(scales) || reference != len(scales) {
+		t.Fatalf("expected every variant at every sub-cap scale, got optimized=%d reference=%d",
+			optimized, reference)
+	}
+	// All engines commit the same sequence, so the replica counts must
+	// agree across variants at each scale.
+	for _, p := range scales {
+		opt := byKey[fmt.Sprintf("SolveDelivery/optimized/M=%d", p.M)]
+		ref := byKey[fmt.Sprintf("SolveDelivery/reference/M=%d", p.M)]
+		if opt.Replicas != ref.Replicas {
+			t.Fatalf("M=%d: replica counts diverge across variants: %d vs %d",
+				p.M, opt.Replicas, ref.Replicas)
+		}
+		for _, key := range []string{
+			fmt.Sprintf("SolveDelivery/M=%d", p.M),
+			fmt.Sprintf("LatencyGain/M=%d", p.M),
+		} {
+			if _, ok := rep.Speedups[key]; !ok {
+				t.Fatalf("missing speedup entry %s: %v", key, rep.Speedups)
+			}
+		}
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if !strings.HasSuffix(string(b), "\n") {
+		t.Fatal("committed JSON must end with a newline")
+	}
+}
+
+// TestPhase2ReferenceCapFlags checks the cap wiring mirrors Phase 1:
+// only the literal re-scan reference is capped.
+func TestPhase2ReferenceCapFlags(t *testing.T) {
+	var refCount int
+	for _, v := range phase2Variants() {
+		if v.Name == "optimized" && v.Ref {
+			t.Fatal("the optimized variant must run at every scale")
+		}
+		if v.Ref {
+			refCount++
+		}
+	}
+	if refCount == 0 {
+		t.Fatal("no variant is subject to the reference cap")
+	}
+}

@@ -10,8 +10,9 @@
 package placement
 
 import (
-	"container/heap"
 	"math"
+	"runtime"
+	"sync"
 )
 
 // Candidate identifies a delivery decision σ_{i,k}: put item Item on
@@ -22,7 +23,10 @@ type Candidate struct {
 
 // Oracle exposes the marginal structure of a placement problem.
 // Gains must be monotone non-increasing as decisions commit
-// (submodularity) for LazyGreedy to match Greedy.
+// (submodularity) for LazyGreedy to match Greedy. When the parallel
+// seed scan is enabled (Options.Parallel), Gain, Cost and Feasible must
+// additionally be safe for concurrent invocation while no Commit is in
+// flight — true for read-only evaluators like the model latency states.
 type Oracle interface {
 	// Gain reports the total objective reduction of committing c now.
 	Gain(c Candidate) float64
@@ -44,18 +48,156 @@ type Result struct {
 	Evaluations int
 }
 
+// DefaultParallelThreshold is the candidate count below which the
+// parallel seed scan is not worth the goroutine fan-out.
+const DefaultParallelThreshold = 512
+
+// Options tunes the greedy engines. The zero value is the historical
+// behaviour (sequential seeding); embedders replace an unset zero value
+// with DefaultOptions (see Set).
+type Options struct {
+	// Parallel enables the concurrent LazyGreedy seed scan. The initial
+	// gains are evaluated against the empty delivery profile, so they
+	// are commit-independent; workers fan out over disjoint candidate
+	// ranges and the results are merged back in candidate order, making
+	// the seeded heap — and therefore the committed sequence —
+	// bit-identical to the sequential scan. Requires an Oracle whose
+	// read methods tolerate concurrent calls (see Oracle).
+	Parallel bool
+	// ParallelThreshold is the minimum candidate count before the
+	// parallel scan kicks in; 0 means DefaultParallelThreshold.
+	ParallelThreshold int
+	// Set marks the Options as explicitly configured, shielding an
+	// intentionally all-zero configuration from default replacement by
+	// embedders (mirrors game.Options.Set).
+	Set bool
+}
+
+// NewOptions marks o as explicitly configured.
+func NewOptions(o Options) Options {
+	o.Set = true
+	return o
+}
+
+// DefaultOptions returns the configuration used by IDDE-G's Phase 2.
+func DefaultOptions() Options {
+	return Options{Parallel: true, Set: true}
+}
+
 // Greedy runs the literal Algorithm 1 Phase 2 loop: every round,
 // re-evaluate every remaining feasible candidate and commit the one
 // with the highest gain-per-cost ratio; stop when nothing feasible has
-// positive gain.
+// positive gain. Committed candidates are swap-removed from the working
+// set (no tombstones to re-scan) and infeasible candidates are dropped
+// permanently (the Oracle contract makes infeasibility monotone); exact
+// ratio ties are broken by original candidate index, so the committed
+// sequence is independent of the resulting scan order and identical to
+// the historical tombstone loop and to LazyGreedy.
 func Greedy(cands []Candidate, o Oracle) Result {
 	res := Result{Chosen: make([]Candidate, 0, len(cands))}
 	remaining := append([]Candidate(nil), cands...)
+	orig := make([]int, len(cands))
+	for idx := range orig {
+		orig[idx] = idx
+	}
 	for {
-		bestIdx := -1
+		bestIdx, bestOrig := -1, -1
 		bestRatio := 0.0
-		for idx, c := range remaining {
-			if c.Server < 0 || !o.Feasible(c) {
+		w := 0
+		for idx := 0; idx < len(remaining); idx++ {
+			c := remaining[idx]
+			if !o.Feasible(c) {
+				continue // capacity shrank; gone forever
+			}
+			remaining[w], orig[w] = c, orig[idx]
+			g := o.Gain(c)
+			res.Evaluations++
+			if g > 0 {
+				cost := o.Cost(c)
+				ratio := g / math.Max(cost, 1e-12)
+				if ratio > bestRatio || (ratio == bestRatio && bestIdx >= 0 && orig[w] < bestOrig) {
+					bestRatio, bestIdx, bestOrig = ratio, w, orig[w]
+				}
+			}
+			w++
+		}
+		remaining, orig = remaining[:w], orig[:w]
+		if bestIdx < 0 {
+			return res
+		}
+		c := remaining[bestIdx]
+		res.TotalGain += o.Commit(c)
+		res.Chosen = append(res.Chosen, c)
+		last := len(remaining) - 1
+		remaining[bestIdx], orig[bestIdx] = remaining[last], orig[last]
+		remaining, orig = remaining[:last], orig[:last]
+	}
+}
+
+// LazyGreedy runs the same policy with a lazy priority queue and the
+// zero-value Options (sequential seeding); see LazyGreedyOpt.
+func LazyGreedy(cands []Candidate, o Oracle) Result {
+	return LazyGreedyOpt(cands, o, Options{})
+}
+
+// LazyGreedyOpt runs the Eq. 17 policy with a lazy priority queue:
+// stale upper bounds are refreshed only when a candidate reaches the
+// top. For submodular gains the output matches Greedy while evaluating
+// far fewer candidates. The seed scan — the N·K initial gain
+// evaluations against the empty profile — optionally fans out to
+// GOMAXPROCS workers (Options.Parallel); the merge happens in candidate
+// order, so the result is bit-deterministic either way.
+func LazyGreedyOpt(cands []Candidate, o Oracle, opt Options) Result {
+	var res Result
+	pq := seedHeap(cands, o, opt, &res)
+	pq.init()
+	res.Chosen = make([]Candidate, 0, len(pq))
+	round := 0
+	for len(pq) > 0 {
+		top := pq[0]
+		if !o.Feasible(top.c) {
+			pq.popTop() // capacity shrank; gone forever
+			continue
+		}
+		if top.round != round {
+			// Stale bound: refresh and reposition. Submodularity means the
+			// refreshed ratio never rises, so sifting down from the root is
+			// the complete repositioning.
+			g := o.Gain(top.c)
+			res.Evaluations++
+			if g <= 0 {
+				pq.popTop()
+				continue
+			}
+			pq[0].ratio = g / math.Max(o.Cost(top.c), 1e-12)
+			pq[0].round = round
+			pq.siftDown(0)
+			continue
+		}
+		pq.popTop()
+		res.TotalGain += o.Commit(top.c)
+		res.Chosen = append(res.Chosen, top.c)
+		round++
+	}
+	return res
+}
+
+// seedHeap evaluates every candidate's initial gain and assembles the
+// un-heapified seed slice. With Options.Parallel and enough candidates
+// the evaluations fan out to GOMAXPROCS workers over disjoint index
+// ranges; every candidate is evaluated exactly once in both modes and
+// the merge walks ascending candidate order, so the returned slice —
+// and Result.Evaluations — are identical to the sequential scan.
+func seedHeap(cands []Candidate, o Oracle, opt Options, res *Result) lazyHeap {
+	thresh := opt.ParallelThreshold
+	if thresh <= 0 {
+		thresh = DefaultParallelThreshold
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if !opt.Parallel || len(cands) < thresh || workers < 2 {
+		pq := make(lazyHeap, 0, len(cands))
+		for idx, c := range cands {
+			if !o.Feasible(c) {
 				continue
 			}
 			g := o.Gain(c)
@@ -63,69 +205,57 @@ func Greedy(cands []Candidate, o Oracle) Result {
 			if g <= 0 {
 				continue
 			}
-			cost := o.Cost(c)
-			ratio := g / math.Max(cost, 1e-12)
-			if ratio > bestRatio {
-				bestRatio = ratio
-				bestIdx = idx
-			}
+			pq = append(pq, lazyEntry{c: c, idx: idx, ratio: g / math.Max(o.Cost(c), 1e-12)})
 		}
-		if bestIdx < 0 {
-			return res
-		}
-		c := remaining[bestIdx]
-		res.TotalGain += o.Commit(c)
-		res.Chosen = append(res.Chosen, c)
-		remaining[bestIdx].Server = -1 // tombstone
+		return pq
 	}
-}
 
-// LazyGreedy runs the same policy with a lazy priority queue: stale
-// upper bounds are refreshed only when a candidate reaches the top.
-// For submodular gains the output matches Greedy while evaluating far
-// fewer candidates.
-func LazyGreedy(cands []Candidate, o Oracle) Result {
-	var res Result
-	pq := make(lazyHeap, 0, len(cands))
-	for idx, c := range cands {
-		if !o.Feasible(c) {
-			continue
-		}
-		g := o.Gain(c)
-		res.Evaluations++
-		if g <= 0 {
-			continue
-		}
-		pq = append(pq, lazyEntry{c: c, idx: idx, ratio: g / math.Max(o.Cost(c), 1e-12)})
+	type seed struct {
+		ratio     float64
+		evaluated bool
+		positive  bool
 	}
-	heap.Init(&pq)
-	res.Chosen = make([]Candidate, 0, pq.Len())
-	round := 0
-	for pq.Len() > 0 {
-		top := pq[0]
-		if !o.Feasible(top.c) {
-			heap.Pop(&pq) // capacity shrank; gone forever
-			continue
+	seeds := make([]seed, len(cands))
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(cands) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(cands))
+		if lo >= hi {
+			break
 		}
-		if top.round != round {
-			// Stale bound: refresh and reposition.
-			g := o.Gain(top.c)
-			res.Evaluations++
-			if g <= 0 {
-				heap.Pop(&pq)
-				continue
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for idx := lo; idx < hi; idx++ {
+				c := cands[idx]
+				if !o.Feasible(c) {
+					continue
+				}
+				g := o.Gain(c)
+				seeds[idx].evaluated = true
+				if g <= 0 {
+					continue
+				}
+				seeds[idx].positive = true
+				seeds[idx].ratio = g / math.Max(o.Cost(c), 1e-12)
 			}
-			pq[0].ratio = g / math.Max(o.Cost(top.c), 1e-12)
-			pq[0].round = round
-			heap.Fix(&pq, 0)
-			continue
-		}
-		heap.Pop(&pq)
-		res.TotalGain += o.Commit(top.c)
-		res.Chosen = append(res.Chosen, top.c)
-		round++
+		}(lo, hi)
 	}
-	return res
+	wg.Wait()
+	pq := make(lazyHeap, 0, len(cands))
+	for idx := range seeds {
+		if seeds[idx].evaluated {
+			res.Evaluations++
+		}
+		if seeds[idx].positive {
+			pq = append(pq, lazyEntry{c: cands[idx], idx: idx, ratio: seeds[idx].ratio})
+		}
+	}
+	return pq
 }
 
 type lazyEntry struct {
@@ -135,28 +265,59 @@ type lazyEntry struct {
 	round int
 }
 
+// lazyHeap is a hand-rolled binary max-heap: the CELF loop performs one
+// pop or root-fix per evaluation, and going through container/heap's
+// interface costs a dynamic Less/Swap dispatch per sift level — the
+// dominant Phase 2 engine overhead once the oracle itself is cheap.
+// The ordering (ratio descending, exact ties by original candidate
+// index ascending — the same first-max-wins rule the literal Greedy
+// re-scan applies) is a strict total order, so the pop sequence is a
+// function of the heap's contents alone and the committed sequence is
+// independent of the internal element arrangement.
 type lazyHeap []lazyEntry
 
-func (h lazyHeap) Len() int { return len(h) }
-
-// Less orders by ratio descending, breaking exact ties by original
-// candidate index ascending — the same first-max-wins rule the literal
-// Greedy re-scan applies, so the two evaluators commit identical
-// sequences even when distinct candidates tie exactly.
-func (h lazyHeap) Less(i, j int) bool {
+func (h lazyHeap) less(i, j int) bool {
 	if h[i].ratio != h[j].ratio {
 		return h[i].ratio > h[j].ratio
 	}
 	return h[i].idx < h[j].idx
 }
-func (h lazyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *lazyHeap) Push(x any)   { *h = append(*h, x.(lazyEntry)) }
-func (h *lazyHeap) Pop() any {
+
+// siftDown restores the heap property below i.
+func (h lazyHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			return
+		}
+		if r := child + 1; r < n && h.less(r, child) {
+			child = r
+		}
+		if !h.less(child, i) {
+			return
+		}
+		h[i], h[child] = h[child], h[i]
+		i = child
+	}
+}
+
+// init heapifies in O(n).
+func (h lazyHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+// popTop removes the maximum element.
+func (h *lazyHeap) popTop() {
 	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	if n > 0 {
+		(*h).siftDown(0)
+	}
 }
 
 // SearchOracle extends Oracle with the rollback needed for exhaustive

@@ -2,6 +2,8 @@ package placement
 
 import (
 	"math"
+	"reflect"
+	"runtime"
 	"testing"
 
 	"idde/internal/rng"
@@ -178,6 +180,126 @@ func TestLazyGreedySavesEvaluations(t *testing.T) {
 	rb := LazyGreedy(cands, ob)
 	if ra.Evaluations <= rb.Evaluations {
 		t.Skipf("instance too easy to demonstrate CELF savings: %d vs %d", ra.Evaluations, rb.Evaluations)
+	}
+}
+
+// tombstoneGreedy is the historical Greedy implementation (commit marks
+// the candidate with Server=-1 and every round rescans the full slice).
+// It is kept here as the behavioural reference for the swap-remove
+// rewrite: the committed sequences must be identical.
+func tombstoneGreedy(cands []Candidate, o Oracle) Result {
+	res := Result{Chosen: make([]Candidate, 0, len(cands))}
+	remaining := append([]Candidate(nil), cands...)
+	for {
+		bestIdx := -1
+		bestRatio := 0.0
+		for idx, c := range remaining {
+			if c.Server < 0 || !o.Feasible(c) {
+				continue
+			}
+			g := o.Gain(c)
+			res.Evaluations++
+			if g <= 0 {
+				continue
+			}
+			ratio := g / math.Max(o.Cost(c), 1e-12)
+			if ratio > bestRatio {
+				bestRatio = ratio
+				bestIdx = idx
+			}
+		}
+		if bestIdx < 0 {
+			return res
+		}
+		c := remaining[bestIdx]
+		res.TotalGain += o.Commit(c)
+		res.Chosen = append(res.Chosen, c)
+		remaining[bestIdx].Server = -1
+	}
+}
+
+// TestGreedySwapRemoveMatchesTombstone asserts the swap-remove rewrite
+// commits exactly the sequence the historical tombstone loop committed,
+// with the same realized gains, while never evaluating more candidates.
+func TestGreedySwapRemoveMatchesTombstone(t *testing.T) {
+	for seed := uint64(1); seed <= 15; seed++ {
+		oa, cands := randomOracle(seed, 6, 5, 80)
+		ob := clone(oa)
+		got := Greedy(cands, oa)
+		ref := tombstoneGreedy(cands, ob)
+		if !reflect.DeepEqual(got.Chosen, ref.Chosen) {
+			t.Fatalf("seed %d: sequences diverge:\nswap-remove %v\ntombstone   %v", seed, got.Chosen, ref.Chosen)
+		}
+		if got.TotalGain != ref.TotalGain {
+			t.Fatalf("seed %d: gains diverge: %v vs %v", seed, got.TotalGain, ref.TotalGain)
+		}
+		if got.Evaluations > ref.Evaluations {
+			t.Fatalf("seed %d: swap-remove evaluated more: %d vs %d", seed, got.Evaluations, ref.Evaluations)
+		}
+	}
+}
+
+// TestGreedyTieBreakSurvivesSwapRemove forces exact gain-per-cost ties
+// between candidates whose scan positions the swap-remove loop scrambles
+// and checks the original-index tie-break still wins: the committed
+// order must be ascending candidate index among the tied group, matching
+// both the tombstone loop and LazyGreedy.
+func TestGreedyTieBreakSurvivesSwapRemove(t *testing.T) {
+	// Four servers, one item each of identical cost; every candidate
+	// saves exactly 70 for its own private request. All ratios tie.
+	o := &coverOracle{
+		items: []int{0, 1, 2, 3},
+		cloud: []float64{100, 100, 100, 100},
+		via: [][]float64{
+			{30, 100, 100, 100},
+			{100, 30, 100, 100},
+			{100, 100, 30, 100},
+			{100, 100, 100, 30},
+		},
+		cost:   []float64{30, 30, 30, 30},
+		budget: []float64{30, 30, 30, 30},
+		placed: map[Candidate]bool{},
+	}
+	var cands []Candidate
+	for i := 0; i < 4; i++ {
+		cands = append(cands, Candidate{Server: i, Item: i})
+	}
+	got := Greedy(cands, clone(o))
+	want := cands // ascending index order
+	if !reflect.DeepEqual(got.Chosen, want) {
+		t.Fatalf("tied candidates committed out of index order: %v", got.Chosen)
+	}
+	lazy := LazyGreedy(cands, clone(o))
+	if !reflect.DeepEqual(lazy.Chosen, want) {
+		t.Fatalf("LazyGreedy broke the tie differently: %v", lazy.Chosen)
+	}
+	ref := tombstoneGreedy(cands, clone(o))
+	if !reflect.DeepEqual(ref.Chosen, want) {
+		t.Fatalf("tombstone reference broke the tie differently: %v", ref.Chosen)
+	}
+}
+
+// TestParallelSeedScanBitIdentical pins the determinism contract of the
+// parallel seed scan: with the fan-out forced on (threshold 1 and
+// several workers), LazyGreedyOpt must produce the same committed
+// sequence, total gain and evaluation count as the sequential scan.
+func TestParallelSeedScanBitIdentical(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4) // force a real fan-out even on 1 CPU
+	defer runtime.GOMAXPROCS(prev)
+	for seed := uint64(1); seed <= 10; seed++ {
+		oa, cands := randomOracle(seed*13, 7, 5, 120)
+		ob := clone(oa)
+		seq := LazyGreedyOpt(cands, oa, Options{})
+		par := LazyGreedyOpt(cands, ob, Options{Parallel: true, ParallelThreshold: 1, Set: true})
+		if !reflect.DeepEqual(seq.Chosen, par.Chosen) {
+			t.Fatalf("seed %d: parallel seeding changed the sequence:\nseq %v\npar %v", seed, seq.Chosen, par.Chosen)
+		}
+		if seq.TotalGain != par.TotalGain {
+			t.Fatalf("seed %d: gains diverge: %v vs %v", seed, seq.TotalGain, par.TotalGain)
+		}
+		if seq.Evaluations != par.Evaluations {
+			t.Fatalf("seed %d: evaluation counts diverge: %d vs %d", seed, seq.Evaluations, par.Evaluations)
+		}
 	}
 }
 
