@@ -18,6 +18,7 @@
 //
 //	iddebench -perfjson BENCH_phase1.json            # regenerate the Phase 1 perf baseline
 //	iddebench -perf2json BENCH_phase2.json           # regenerate the Phase 2 perf baseline
+//	iddebench -memjson BENCH_mem.json                # regenerate the memory/allocation baseline
 //	iddebench -perfjson out.json -perftime 250ms     # quick CI smoke variant
 //	iddebench -fig 4 -cpuprofile cpu.pb.gz           # pprof any run
 package main
@@ -60,8 +61,11 @@ func realMain() error {
 		plot     = flag.Bool("plot", false, "also render terminal plots of each figure")
 		perfJSON  = flag.String("perfjson", "", "write the Phase 1 perf baseline to this file and exit (skips the figures)")
 		perf2JSON = flag.String("perf2json", "", "write the Phase 2 perf baseline to this file and exit (skips the figures)")
-		perfTime  = flag.Duration("perftime", 2*time.Second, "per-case time budget for -perfjson/-perf2json")
+		perfTime  = flag.Duration("perftime", 2*time.Second, "per-case time budget for -perfjson/-perf2json/-memjson")
 		perfMaxM  = flag.Int("perfmaxm", 0, "skip perf scales with more than this many users (0 = full ladder; CI smoke uses a low cap)")
+		memJSON   = flag.String("memjson", "", "write the memory/allocation baseline to this file and exit (skips the figures; nonzero exit on hot-path alloc regressions)")
+		memMaxN   = flag.Int("memmaxn", 0, "skip aggregate-row memory scales with more than this many servers (0 = full ladder)")
+		memMaxM   = flag.Int("memmaxm", 0, "skip solve-allocation memory scales with more than this many users (0 = full ladder)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -88,6 +92,8 @@ func realMain() error {
 		err = runPerf(*perfJSON, *perfTime, *seed, *perfMaxM)
 	} else if *perf2JSON != "" {
 		err = runPerf2(*perf2JSON, *perfTime, *seed, *perfMaxM)
+	} else if *memJSON != "" {
+		err = runMem(*memJSON, *perfTime, *seed, *memMaxN, *memMaxM)
 	} else {
 		err = run(*fig, *reps, *seed, *ipBudget, *noIP, *outDir, *plot)
 	}
@@ -177,6 +183,38 @@ func runPerf2(path string, budget time.Duration, seed uint64, maxM int) error {
 	}
 	fmt.Printf("wrote %s (%d records)\n", path, len(rep.Records))
 	return nil
+}
+
+// runMem regenerates the tracked memory/allocation baseline. A guarded
+// hot path that allocates in steady state is an error (nonzero exit),
+// so the CI bench-smoke fails on regressions.
+func runMem(path string, budget time.Duration, seed uint64, maxN, maxM int) error {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	rep, err := perfbench.RunMem(budget, seed, maxN, maxM, logf)
+	if err != nil {
+		return err
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	for _, n := range perfbench.MemScaleNs() {
+		if r, ok := rep.Reductions[fmt.Sprintf("AggResidentBytes/N=%d", n)]; ok {
+			fmt.Printf("aggregate-row resident bytes at N=%d: %.1fx smaller under budget\n", n, r)
+		}
+	}
+	for _, key := range []string{"SolveDeliveryAllocs/M=4000", "SolveDeliveryAllocs/M=4000/batch"} {
+		if r, ok := rep.Reductions[key]; ok {
+			fmt.Printf("%s: %.1fx fewer allocs than previous baseline\n", key, r)
+		}
+	}
+	fmt.Printf("wrote %s (%d records)\n", path, len(rep.Records))
+	return rep.HotPathRegression()
 }
 
 func run(fig, reps int, seed uint64, ipBudget time.Duration, noIP bool, outDir string, plot bool) error {

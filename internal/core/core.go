@@ -49,6 +49,22 @@ type Options struct {
 	// replica sequences are identical; used for differential tests and
 	// the Phase 2 perf baseline.
 	NaiveLatency bool
+	// CohortBatch switches Phase 2 to the Commit-batching oracle
+	// (model.BatchCohortLatencyState) and enables per-item staleness
+	// epochs in the CELF engine (placement.Options.ItemLocalGains).
+	// Gains, totals and committed replica sequences are bit-identical
+	// to the default cohort oracle; memory drops from O(requests) to
+	// O(cohorts) and deep replica budgets stop paying a per-Commit
+	// suffix rebuild. Ignored when NaiveLatency is set (the two select
+	// different oracles for the same slot).
+	CohortBatch bool
+	// AggRowBudget caps how many Phase 1 interference aggregate rows
+	// stay resident at once (0 = unlimited). Evaluations against
+	// non-resident receivers use a bit-identical per-cell fold, so the
+	// equilibrium is unchanged; peak aggregate memory shrinks from
+	// O(N²·K̄) toward O(budget·N) at the price of wall-clock on cold
+	// receivers. See model.Ledger.SetAggRowBudget.
+	AggRowBudget int
 	// Placement configures the Phase 2 greedy engine (parallel seed
 	// scan). The zero value is replaced by placement.DefaultOptions();
 	// an intentionally all-zero configuration must carry
@@ -132,6 +148,9 @@ func SolvePhase1(in *model.Instance, opt Options) (model.Allocation, game.Stats)
 	if opt.NaiveInterference {
 		ledger.SetNaiveInterference(true)
 	}
+	if opt.AggRowBudget > 0 {
+		ledger.SetAggRowBudget(opt.AggRowBudget)
+	}
 	adapter := &allocGame{in: in, l: ledger}
 	st := game.Run[model.Alloc](adapter, opt.Game)
 	return ledger.Alloc(), st
@@ -147,6 +166,9 @@ func Solve(in *model.Instance, opt Options) *Result {
 	ledger := model.NewLedger(in, model.NewAllocation(in.M()))
 	if opt.NaiveInterference {
 		ledger.SetNaiveInterference(true)
+	}
+	if opt.AggRowBudget > 0 {
+		ledger.SetAggRowBudget(opt.AggRowBudget)
 	}
 	adapter := &allocGame{in: in, l: ledger}
 	res.Phase1 = game.Run[model.Alloc](adapter, opt.Game)
@@ -188,9 +210,12 @@ func solveDelivery(in *model.Instance, alloc model.Allocation, opt Options) (*mo
 		in: in,
 		d:  model.NewDelivery(in.N(), in.K()),
 	}
-	if opt.NaiveLatency {
+	switch {
+	case opt.NaiveLatency:
 		oracle.ls = model.NewLatencyState(in, alloc)
-	} else {
+	case opt.CohortBatch:
+		oracle.ls = model.NewBatchCohortLatencyState(in, alloc)
+	default:
 		oracle.ls = model.NewCohortLatencyState(in, alloc)
 	}
 	// Skip items nobody requests: their gain is identically zero, so
@@ -214,7 +239,14 @@ func solveDelivery(in *model.Instance, alloc model.Allocation, opt Options) (*mo
 	if opt.NaiveGreedy {
 		pres = placement.Greedy(cands, oracle)
 	} else {
-		pres = placement.LazyGreedyOpt(cands, oracle, resolvePlacementOptions(opt.Placement))
+		popt := resolvePlacementOptions(opt.Placement)
+		if opt.CohortBatch && !opt.NaiveLatency {
+			// The batch oracle's cohorts are partitioned by item, so a
+			// Commit can only move gains of its own item: per-item
+			// staleness epochs skip provably identical refreshes.
+			popt.ItemLocalGains = true
+		}
+		pres = placement.LazyGreedyOpt(cands, oracle, popt)
 	}
 	return oracle.d, pres
 }

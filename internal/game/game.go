@@ -35,7 +35,6 @@ package game
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"sync/atomic"
 )
 
@@ -190,7 +189,31 @@ type runner[D any] struct {
 	moves  []int
 	evals  atomic.Int64
 	st     Stats
+
+	// Persistent worker pool for the parallel proposal scans: started
+	// lazily on the first round that crosses the threshold and fed
+	// index spans over per-worker channels, so a steady-state round
+	// spawns no goroutines and allocates nothing. parFn is always one
+	// of the two closures below, created once per Run; the channel
+	// send/receive pairs give the happens-before edges for both the
+	// parFn handoff and the workers' result writes.
+	workers int
+	jobs    []chan idxSpan
+	jobDone chan struct{}
+	parFn   func(idx int)
+	scanFn  func(idx int) // full-scan proposal refresh: eval(idx)
+	fillFn  func(idx int) // dirty-round refresh: pending[idx] → scratch[idx]
+
+	// pending lists the players invalidated by the previous commit;
+	// scratch receives their fresh proposals so each heap key changes
+	// one at a time (a batched overwrite would break the sift
+	// invariant).
+	pending []int
+	scratch []proposal[D]
 }
+
+// idxSpan is one worker's half-open index range for a parallel scan.
+type idxSpan struct{ lo, hi int }
 
 // Run executes best-response dynamics until no player can improve or
 // the update budget is exhausted.
@@ -218,6 +241,18 @@ func Run[D any](a Adapter[D], opt Options) Stats {
 		r.st.Converged = true
 		return r.st
 	}
+	r.scanFn = func(j int) { r.eval(j) }
+	r.fillFn = func(idx int) {
+		j := r.pending[idx]
+		if !r.eligible(j) {
+			r.scratch[idx] = proposal[D]{gain: 0}
+			return
+		}
+		d, benefit, cur := r.a.Best(j)
+		r.evals.Add(1)
+		r.scratch[idx] = proposal[D]{d: d, gain: benefit - cur}
+	}
+	defer r.stopPool()
 	loc, localized := a.(Localized[D])
 	localized = localized && !opt.FullScan
 
@@ -269,8 +304,55 @@ func (r *runner[D]) eval(j int) {
 	r.props[j] = proposal[D]{d: d, gain: benefit - cur}
 }
 
-// forEach runs fn over 0..count-1, fanning out to GOMAXPROCS workers
-// when the parallel scan is enabled and worthwhile.
+// startPool lazily launches the persistent scan workers. The worker
+// count is pinned at first use; GOMAXPROCS changes after that point
+// affect scheduling but not the chunking (which only has to be
+// deterministic, and is — it depends on the count alone).
+func (r *runner[D]) startPool() {
+	if r.jobs != nil {
+		return
+	}
+	r.workers = runtime.GOMAXPROCS(0)
+	if r.workers > r.n {
+		r.workers = r.n
+	}
+	r.jobs = make([]chan idxSpan, r.workers)
+	if r.workers < 2 {
+		return // forEach falls back to the inline loop
+	}
+	r.jobDone = make(chan struct{}, r.workers)
+	for w := range r.jobs {
+		ch := make(chan idxSpan)
+		r.jobs[w] = ch
+		go func(ch chan idxSpan) {
+			for s := range ch {
+				fn := r.parFn
+				for idx := s.lo; idx < s.hi; idx++ {
+					fn(idx)
+				}
+				r.jobDone <- struct{}{}
+			}
+		}(ch)
+	}
+}
+
+// stopPool shuts the scan workers down at the end of Run.
+func (r *runner[D]) stopPool() {
+	for _, ch := range r.jobs {
+		if ch != nil {
+			close(ch)
+		}
+	}
+	r.jobs = nil
+}
+
+// forEach runs fn over 0..count-1, fanning out to the worker pool when
+// the parallel scan is enabled and worthwhile. fn must be one of the
+// premade runner closures so steady-state rounds allocate nothing. The
+// span partitioning is the same deterministic chunking the historical
+// per-round goroutine fan-out used: workers write disjoint result
+// slots, and every merge downstream walks index order, so the outcome
+// is independent of worker scheduling.
 func (r *runner[D]) forEach(count int, fn func(idx int)) {
 	if !r.opt.Parallel || count < r.thresh {
 		for idx := 0; idx < count; idx++ {
@@ -278,32 +360,37 @@ func (r *runner[D]) forEach(count int, fn func(idx int)) {
 		}
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
+	r.startPool()
+	workers := r.workers
+	if workers < 2 {
+		for idx := 0; idx < count; idx++ {
+			fn(idx)
+		}
+		return
+	}
 	if workers > count {
 		workers = count
 	}
-	var wg sync.WaitGroup
+	r.parFn = fn
 	chunk := (count + workers - 1) / workers
+	launched := 0
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := min(lo+chunk, count)
 		if lo >= hi {
 			break
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for idx := lo; idx < hi; idx++ {
-				fn(idx)
-			}
-		}(lo, hi)
+		r.jobs[w] <- idxSpan{lo, hi}
+		launched++
 	}
-	wg.Wait()
+	for ; launched > 0; launched-- {
+		<-r.jobDone
+	}
 }
 
 // scanAll refreshes every cached proposal (one full Algorithm 1 scan).
 func (r *runner[D]) scanAll() {
-	r.forEach(r.n, func(j int) { r.eval(j) })
+	r.forEach(r.n, r.scanFn)
 }
 
 // winnerFullScan is the literal Algorithm 1 protocol: every round
@@ -380,12 +467,12 @@ func (r *runner[D]) winnerDirty(loc Localized[D]) {
 		}
 	}
 
-	// pending lists the players invalidated by the previous commit;
-	// scratch receives their fresh proposals so each heap key changes
-	// one at a time (a batched overwrite would break the sift
-	// invariant). seen/stamp dedupe the adapter's affected list.
-	var pending []int
-	scratch := make([]proposal[D], 0, n)
+	// seen/stamp dedupe the adapter's affected list into r.pending; the
+	// parallel refresh fills r.scratch through the premade fillFn so
+	// each heap key still changes one at a time (a batched overwrite
+	// would break the sift invariant).
+	r.pending = make([]int, 0, n)
+	r.scratch = make([]proposal[D], 0, n)
 	seen := make([]int, n)
 	stamp := 0
 
@@ -401,19 +488,10 @@ func (r *runner[D]) winnerDirty(loc Localized[D]) {
 				down(pos)
 			}
 		} else {
-			scratch = scratch[:len(pending)]
-			r.forEach(len(pending), func(idx int) {
-				j := pending[idx]
-				if !r.eligible(j) {
-					scratch[idx] = proposal[D]{gain: 0}
-					return
-				}
-				d, benefit, cur := r.a.Best(j)
-				r.evals.Add(1)
-				scratch[idx] = proposal[D]{d: d, gain: benefit - cur}
-			})
-			for idx, j := range pending {
-				r.props[j] = scratch[idx]
+			r.scratch = r.scratch[:len(r.pending)]
+			r.forEach(len(r.pending), r.fillFn)
+			for idx, j := range r.pending {
+				r.props[j] = r.scratch[idx]
 				pos := heapPos[j]
 				up(pos)
 				down(heapPos[j])
@@ -427,13 +505,13 @@ func (r *runner[D]) winnerDirty(loc Localized[D]) {
 		}
 		d := r.props[winner].d
 		stamp++
-		pending = pending[:0]
-		pending = append(pending, winner)
+		r.pending = r.pending[:0]
+		r.pending = append(r.pending, winner)
 		seen[winner] = stamp
 		for _, q := range loc.Affected(winner, d) {
 			if q >= 0 && q < n && seen[q] != stamp {
 				seen[q] = stamp
-				pending = append(pending, q)
+				r.pending = append(r.pending, q)
 			}
 		}
 		r.a.Apply(winner, d)

@@ -1,0 +1,93 @@
+//go:build !race
+
+package model
+
+import (
+	"testing"
+
+	"idde/internal/rng"
+)
+
+// Steady-state zero-allocation guards for the two hot paths the memory
+// baseline tracks (BENCH_mem.json): Ledger benefit evaluation with warm
+// aggregate rows, and DeliveryOracle.GainOf for both cohort oracles.
+// The race detector instruments allocations, so the file is excluded
+// from -race runs; the plain tier-1 `go test ./...` always runs it, and
+// the CI bench-smoke re-checks the same paths through iddebench
+// -memjson.
+
+// guardFixture builds a warm, fully-allocated ledger plus probe batches.
+func guardFixture(t *testing.T) (*Ledger, Allocation, []int, []Alloc) {
+	t.Helper()
+	in := genInstance(t, 12, 90, 5, 3)
+	s := rng.New(19)
+	l := NewLedger(in, NewAllocation(in.M()))
+	fillRandom(in, l, s)
+	l.WarmAggregates()
+	var js []int
+	var as []Alloc
+	for len(js) < 64 {
+		j := s.IntN(in.M())
+		vs := in.Top.Coverage[j]
+		if len(vs) == 0 {
+			continue
+		}
+		i := vs[s.IntN(len(vs))]
+		js = append(js, j)
+		as = append(as, Alloc{Server: i, Channel: s.IntN(in.Top.Servers[i].Channels)})
+	}
+	return l, l.Alloc(), js, as
+}
+
+func TestBenefitSteadyStateZeroAllocs(t *testing.T) {
+	l, _, js, as := guardFixture(t)
+	var bi int
+	if avg := testing.AllocsPerRun(200, func() {
+		_ = l.Benefit(js[bi], as[bi])
+		bi = (bi + 1) % len(js)
+	}); avg != 0 {
+		t.Fatalf("Ledger.Benefit allocates %.2f allocs/op in steady state, want 0", avg)
+	}
+}
+
+// TestBenefitBudgetedResidentHitZeroAllocs pins the budgeted ledger's
+// hit path: probing the same resident receiver repeatedly must not
+// allocate (only faults that build rows may).
+func TestBenefitBudgetedResidentHitZeroAllocs(t *testing.T) {
+	l, _, js, as := guardFixture(t)
+	l.SetAggRowBudget(4)
+	_ = l.Benefit(js[0], as[0]) // fault the row in
+	if avg := testing.AllocsPerRun(200, func() {
+		_ = l.Benefit(js[0], as[0])
+	}); avg != 0 {
+		t.Fatalf("budgeted Ledger.Benefit allocates %.2f allocs/op on resident hits, want 0", avg)
+	}
+}
+
+func TestCohortGainOfSteadyStateZeroAllocs(t *testing.T) {
+	l, alloc, _, _ := guardFixture(t)
+	in := l.in
+	s := rng.New(23)
+	for _, build := range []func() DeliveryOracle{
+		func() DeliveryOracle { return NewCohortLatencyState(in, alloc) },
+		func() DeliveryOracle { return NewBatchCohortLatencyState(in, alloc) },
+	} {
+		ls := build()
+		// Commit a couple of replicas so the batch oracle's deferred
+		// collapses are in play, then measure the evaluation loop.
+		ls.Commit(s.IntN(in.N()), s.IntN(in.K()))
+		ls.Commit(s.IntN(in.N()), s.IntN(in.K()))
+		var gi int
+		is := make([]int, 64)
+		ks := make([]int, 64)
+		for x := range is {
+			is[x], ks[x] = s.IntN(in.N()), s.IntN(in.K())
+		}
+		if avg := testing.AllocsPerRun(200, func() {
+			_ = ls.GainOf(is[gi], ks[gi])
+			gi = (gi + 1) % len(is)
+		}); avg != 0 {
+			t.Fatalf("%T.GainOf allocates %.2f allocs/op in steady state, want 0", ls, avg)
+		}
+	}
+}

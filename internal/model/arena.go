@@ -1,0 +1,107 @@
+package model
+
+// spanArena carves fixed-length spans for the ledger's aggregate rows
+// out of geometrically grown backing slabs, recycling released spans
+// through a best-fit free list. Rows stop being individual GC objects:
+// the collector sees a handful of slabs instead of thousands of
+// short-lived slices, and a row eviction/rebuild cycle under a resident
+// budget reuses the same backing memory instead of churning the heap.
+//
+// Spans are handed out with len == cap (three-index sliced), so a
+// holder cannot append past its span into a neighbour. Contents are NOT
+// zeroed on alloc — every ledger row build overwrites its span in full.
+// The arena is not safe for concurrent use; the ledger serializes all
+// calls under its aggMu.
+type spanArena[T any] struct {
+	// cur is the unused tail of the newest slab.
+	cur []T
+	// free holds released (or retired-tail) spans, len == cap each.
+	free [][]T
+	// nextSize is the element count of the next slab to allocate.
+	nextSize int
+	// total counts elements across all slabs ever allocated.
+	total int
+	// inUse counts elements currently handed out to live spans.
+	inUse int
+}
+
+const (
+	// arenaMinSlab/arenaMaxSlab bound the geometric slab growth.
+	arenaMinSlab = 1 << 10
+	arenaMaxSlab = 1 << 16
+	// arenaMinRecycle is the smallest remainder worth keeping on the
+	// free list; smaller shards stay as slab fragmentation (still
+	// counted in total, never handed out again).
+	arenaMinRecycle = 32
+)
+
+// alloc returns a span of exactly n elements with unspecified contents.
+func (a *spanArena[T]) alloc(n int) []T {
+	if n <= 0 {
+		return nil
+	}
+	a.inUse += n
+	// Best fit over the free list (first-fit splits big spans while an
+	// exact match sits further down the list, fragmenting a repeated
+	// working set); the remainder of an oversized span goes back on the
+	// list so deep eviction churn converges to exact reuse instead of
+	// accumulating dead shards.
+	best := -1
+	for idx, s := range a.free {
+		if len(s) < n {
+			continue
+		}
+		if best < 0 || len(s) < len(a.free[best]) {
+			best = idx
+			if len(s) == n {
+				break
+			}
+		}
+	}
+	if best >= 0 {
+		s := a.free[best]
+		rem := s[n:]
+		if len(rem) >= arenaMinRecycle {
+			a.free[best] = rem
+		} else {
+			last := len(a.free) - 1
+			a.free[best] = a.free[last]
+			a.free[last] = nil
+			a.free = a.free[:last]
+		}
+		return s[:n:n]
+	}
+	if len(a.cur) < n {
+		if len(a.cur) >= arenaMinRecycle {
+			a.free = append(a.free, a.cur)
+		}
+		size := a.nextSize
+		if size < arenaMinSlab {
+			size = arenaMinSlab
+		}
+		if size < n {
+			size = n
+		}
+		if next := size * 2; next <= arenaMaxSlab {
+			a.nextSize = next
+		} else {
+			a.nextSize = arenaMaxSlab
+		}
+		a.cur = make([]T, size)
+		a.total += size
+	}
+	s := a.cur[:n:n]
+	a.cur = a.cur[n:]
+	return s
+}
+
+// release returns a span obtained from alloc to the free list.
+func (a *spanArena[T]) release(s []T) {
+	if len(s) == 0 {
+		return
+	}
+	a.inUse -= len(s)
+	if len(s) >= arenaMinRecycle {
+		a.free = append(a.free, s[:len(s):len(s)])
+	}
+}

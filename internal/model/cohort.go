@@ -103,52 +103,70 @@ type CohortLatencyState struct {
 	total    float64
 }
 
+// cohortCounts tallies requests per (item, serving server) for
+// allocated users into one flat K·N array, accumulating the
+// Requests/Total denominators in the same j-order fold as LatencyState
+// so the totals agree bitwise. Shared by both cohort oracle
+// constructors.
+func cohortCounts(in *Instance, alloc Allocation, requests *int, total *float64) []int32 {
+	counts := make([]int32, in.K()*in.N())
+	n := in.N()
+	for j, items := range in.Wl.Requests {
+		a := alloc[j]
+		for _, k := range items {
+			*requests++
+			*total += float64(in.CloudLatency(k))
+			if !a.Allocated() {
+				continue
+			}
+			counts[k*n+a.Server]++
+		}
+	}
+	return counts
+}
+
 // NewCohortLatencyState builds the cohort oracle for the given
-// allocation with an empty delivery profile. The per-item vals/pre
-// slices are carved out of two backing arrays, so construction costs a
-// handful of allocations per item rather than two per cohort.
+// allocation with an empty delivery profile. Every per-item slice is a
+// view into one of four shared backing arrays sized in a counting
+// pass, so construction costs a fixed handful of allocations
+// regardless of the item or cohort count.
 func NewCohortLatencyState(in *Instance, alloc Allocation) *CohortLatencyState {
 	ls := &CohortLatencyState{
 		in:      in,
 		cohorts: make([][]cohort, in.K()),
 		hot:     make([][]cohortHot, in.K()),
 	}
-	// counts[k][a] = requests for item k served by server a. The request
-	// walk below mirrors LatencyState's j-order accumulation so the two
-	// totals agree bitwise.
-	counts := make([][]int, in.K())
-	for j, items := range in.Wl.Requests {
-		a := alloc[j]
-		for _, k := range items {
-			ls.requests++
-			ls.total += float64(in.CloudLatency(k))
-			if !a.Allocated() {
-				continue
-			}
-			if counts[k] == nil {
-				counts[k] = make([]int, in.N())
-			}
-			counts[k][a.Server]++
+	counts := cohortCounts(in, alloc, &ls.requests, &ls.total)
+	n := in.N()
+	totalCohorts, totalVals := 0, 0
+	for _, cnt := range counts {
+		if cnt > 0 {
+			totalCohorts++
+			totalVals += int(cnt)
 		}
 	}
-	for k := range counts {
-		if counts[k] == nil {
+	csBuf := make([]cohort, totalCohorts)
+	hsBuf := make([]cohortHot, totalCohorts)
+	valsBuf := make([]float64, totalVals)
+	preBuf := make([]float64, totalVals+totalCohorts)
+	co, vo, po := 0, 0, 0
+	for k := 0; k < in.K(); k++ {
+		row := counts[k*n : (k+1)*n]
+		nc := 0
+		for _, cnt := range row {
+			if cnt > 0 {
+				nc++
+			}
+		}
+		if nc == 0 {
 			continue
 		}
 		cloud := float64(in.CloudLatency(k))
-		nc, tot := 0, 0
-		for _, cnt := range counts[k] {
-			if cnt > 0 {
-				nc++
-				tot += cnt
-			}
-		}
-		cs := make([]cohort, 0, nc)
-		hs := make([]cohortHot, 0, nc)
-		valsBuf := make([]float64, tot)
-		preBuf := make([]float64, tot+nc)
-		vo, po := 0, 0
-		for a, cnt := range counts[k] {
+		cs := csBuf[co : co : co+nc]
+		hs := hsBuf[co : co : co+nc]
+		co += nc
+		for a, cnt32 := range row {
+			cnt := int(cnt32)
 			if cnt == 0 {
 				continue
 			}

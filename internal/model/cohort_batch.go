@@ -1,0 +1,174 @@
+package model
+
+import "idde/internal/units"
+
+// BatchCohortLatencyState is the Commit-batching Phase 2 oracle for
+// deep replica budgets. It exploits an invariant of the factorized
+// Eq. 8 latency model: every cohort starts uniform (all requests at the
+// item's cloud latency) and every Commit replaces the improved suffix
+// with the uniform threshold value, so a cohort's value multiset is
+// always n copies of one current value. The per-request vals/pre arrays
+// of CohortLatencyState therefore carry no information beyond (n, cur),
+// and this oracle drops them entirely: a Commit updates one float per
+// improved cohort, and the suffix-collapse — the n-term prefix-sum
+// rebuild the eager oracle performs on every Commit — is deferred and
+// applied at most once per batch of consecutive commits touching the
+// same (item, serving-server) cohorts, when a later evaluation first
+// needs the collapsed sum. Memory drops from O(requests) to O(cohorts).
+//
+// Gains and totals are bit-identical to CohortLatencyState (and hence
+// to the LatencyState reference): the lazily materialized sum is the
+// same left-to-right fold of n equal values the prefix-sum rebuild
+// computes, and the gain expression sum − n·t matches the cohortHot
+// fast-path term for term, so the committed replica sequences agree
+// exactly (the differential suites pin this down).
+//
+// Concurrency: GainOf mutates cohort sums when it materializes a
+// deferred collapse, so — unlike the eager oracle — concurrent GainOf
+// calls are only safe while every sum is materialized. Construction
+// materializes all of them and only Commit defers, so the parallel seed
+// scan (which runs strictly before the first Commit) is safe; after the
+// first Commit all evaluations must be sequential, which is exactly the
+// CELF engine's behaviour.
+type BatchCohortLatencyState struct {
+	in *Instance
+	// cohorts[k] lists item k's cohorts ascending by serving server, as
+	// views into one shared backing array.
+	cohorts  [][]batchCohort
+	requests int
+	total    float64
+}
+
+var _ DeliveryOracle = (*BatchCohortLatencyState)(nil)
+
+// batchCohort is one (item, serving server) cohort: n requests, all at
+// the current latency cur. sum caches the left-to-right fold of n
+// copies of cur; sumOK is cleared by a deferred collapse.
+type batchCohort struct {
+	server int32
+	n      int32
+	sumOK  bool
+	cur    float64
+	sum    float64
+}
+
+// foldUniform computes the left-to-right fold v+v+…+v over n terms —
+// bitwise the prefix-sum total the eager oracle rebuilds on a full
+// collapse, which n·v (one rounding instead of n−1) is not.
+func foldUniform(v float64, n int) float64 {
+	var s float64
+	for ; n > 0; n-- {
+		s += v
+	}
+	return s
+}
+
+// NewBatchCohortLatencyState builds the batching oracle for the given
+// allocation with an empty delivery profile, with every cohort sum
+// materialized (see the concurrency note on the type).
+func NewBatchCohortLatencyState(in *Instance, alloc Allocation) *BatchCohortLatencyState {
+	ls := &BatchCohortLatencyState{
+		in:      in,
+		cohorts: make([][]batchCohort, in.K()),
+	}
+	counts := cohortCounts(in, alloc, &ls.requests, &ls.total)
+	n := in.N()
+	totalCohorts := 0
+	for _, cnt := range counts {
+		if cnt > 0 {
+			totalCohorts++
+		}
+	}
+	buf := make([]batchCohort, totalCohorts)
+	co := 0
+	for k := 0; k < in.K(); k++ {
+		row := counts[k*n : (k+1)*n]
+		nc := 0
+		for _, cnt := range row {
+			if cnt > 0 {
+				nc++
+			}
+		}
+		if nc == 0 {
+			continue
+		}
+		cloud := float64(in.CloudLatency(k))
+		cs := buf[co : co : co+nc]
+		co += nc
+		for a, cnt := range row {
+			if cnt == 0 {
+				continue
+			}
+			cs = append(cs, batchCohort{
+				server: int32(a), n: cnt, sumOK: true,
+				cur: cloud, sum: foldUniform(cloud, int(cnt)),
+			})
+		}
+		ls.cohorts[k] = cs
+	}
+	return ls
+}
+
+// Requests reports the total request count (the denominator of Eq. 9).
+func (ls *BatchCohortLatencyState) Requests() int { return ls.requests }
+
+// Total reports Σ_j Σ_k ζ_{j,k}·L_{j,k}, the numerator of Eq. 9.
+func (ls *BatchCohortLatencyState) Total() units.Seconds { return units.Seconds(ls.total) }
+
+// Avg reports Eq. (9), the average data delivery latency.
+func (ls *BatchCohortLatencyState) Avg() units.Seconds {
+	if ls.requests == 0 {
+		return 0
+	}
+	return units.Seconds(ls.total / float64(ls.requests))
+}
+
+// GainOf reports the total latency reduction of adding replica
+// σ_{i,k}=1, materializing any deferred collapses of item k's cohorts
+// on the way (at most one fold per cohort per commit batch).
+func (ls *BatchCohortLatencyState) GainOf(i, k int) units.Seconds {
+	row := ls.in.Top.PathCost[i]
+	size := float64(ls.in.Wl.Items[k].Size)
+	var gain float64
+	cs := ls.cohorts[k]
+	for ci := range cs {
+		c := &cs[ci]
+		t := float64(row[c.server]) * size
+		if t >= c.cur {
+			continue // nothing improves: the cohort is uniform at cur
+		}
+		if !c.sumOK {
+			c.sum = foldUniform(c.cur, int(c.n))
+			c.sumOK = true
+		}
+		gain += c.sum - float64(c.n)*t
+	}
+	return units.Seconds(gain)
+}
+
+// Commit applies replica σ_{i,k}=1: each improved cohort collapses to
+// the threshold value in O(1), deferring its fold to the next
+// evaluation that needs it. In the CELF flow a Commit immediately
+// follows a fresh GainOf of the same candidate, so the sums it reads
+// are already materialized and the Commit itself performs no folds.
+func (ls *BatchCohortLatencyState) Commit(i, k int) units.Seconds {
+	row := ls.in.Top.PathCost[i]
+	size := float64(ls.in.Wl.Items[k].Size)
+	var gain float64
+	cs := ls.cohorts[k]
+	for ci := range cs {
+		c := &cs[ci]
+		t := float64(row[c.server]) * size
+		if t >= c.cur {
+			continue
+		}
+		if !c.sumOK {
+			c.sum = foldUniform(c.cur, int(c.n))
+		}
+		gain += c.sum - float64(c.n)*t
+		c.cur = t
+		c.sumOK = false
+	}
+	ls.total -= gain
+	return units.Seconds(gain)
+}

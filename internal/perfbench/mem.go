@@ -1,0 +1,291 @@
+package perfbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"idde/internal/core"
+	"idde/internal/experiment"
+	"idde/internal/model"
+	"idde/internal/rng"
+)
+
+// This file is the memory/allocation dimension of the tracked baseline
+// (BENCH_mem.json): it measures the resident footprint of the Phase 1
+// interference aggregate rows with and without a row budget, the heap
+// allocations of a full Phase 2 solve for the eager and Commit-batching
+// oracles, and pins the two guarded hot paths — Ledger benefit
+// evaluation and DeliveryOracle.GainOf — at zero steady-state
+// allocations via testing.AllocsPerRun.
+
+// PrevSolveAllocsM4000 is the allocs-per-solve of the optimized Phase 2
+// engine at the M=4000 rung in the previous committed baseline
+// (BENCH_phase2.json as of the Phase 2 perf PR: 37 allocs/op at every
+// rung, dominated by the per-item cohort slices of the eager oracle
+// constructor). The Reductions entry divides it by the current count.
+const PrevSolveAllocsM4000 = 37
+
+// MemScaleNs is the tracked receiver-count ladder for the aggregate-row
+// records; M tracks N at the 1:10 ratio of the Phase 1 density probe.
+func MemScaleNs() []int { return []int{200, 500, 1000} }
+
+// memRowBudget is the tracked resident-row budget at receiver count n:
+// an eighth of the fleet, the regime the ROADMAP names for N≥1000
+// (rows are O(N·ΣK) per receiver; bounding residency caps the
+// quadratic term while the fold fallback keeps results bit-identical).
+// A resident row costs what a dense row costs, so the reduction tracks
+// everRows/budget minus the persistent co-source bitset overhead —
+// n/8 lands ~7× at N=1000.
+func memRowBudget(n int) int {
+	b := n / 8
+	if b < 8 {
+		b = 8
+	}
+	return b
+}
+
+// MemRecord is one measured memory configuration.
+type MemRecord struct {
+	// Name identifies the record, e.g. "AggRows/budget" or
+	// "SolveDelivery/batch".
+	Name string `json:"name"`
+	N    int    `json:"n"`
+	M    int    `json:"m"`
+	K    int    `json:"k,omitempty"`
+	// Budget is the aggregate-row budget in force (0 = unlimited).
+	Budget int `json:"budget,omitempty"`
+	// Aggregate-row accounting (AggRows records), from
+	// model.Ledger.AggMemStats after a fill + warm + probe-sweep
+	// workload.
+	ResidentRows    int   `json:"resident_rows,omitempty"`
+	EverBuiltRows   int   `json:"ever_built_rows,omitempty"`
+	ResidentBytes   int64 `json:"resident_bytes,omitempty"`
+	ArenaBytes      int64 `json:"arena_bytes,omitempty"`
+	DenseEquivBytes int64 `json:"dense_equiv_bytes,omitempty"`
+	Evictions       int64 `json:"evictions,omitempty"`
+	FallbackEvals   int64 `json:"fallback_evals,omitempty"`
+	// NsPerOp times one Benefit probe (AggRows records: the price of
+	// budget-driven faults and fold fallbacks versus warm rows) or one
+	// full Phase 2 solve.
+	NsPerOp float64 `json:"ns_per_op,omitempty"`
+	// Heap cost per operation (SolveDelivery records).
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	Replicas    int     `json:"replicas,omitempty"`
+}
+
+// MemReport is the BENCH_mem.json schema.
+type MemReport struct {
+	GoVersion     string      `json:"go_version"`
+	GOOS          string      `json:"goos"`
+	GOARCH        string      `json:"goarch"`
+	GOMAXPROCS    int         `json:"gomaxprocs"`
+	Seed          uint64      `json:"seed"`
+	BudgetPerCase string      `json:"budget_per_case"`
+	Records       []MemRecord `json:"records"`
+	// HotPathAllocs reports testing.AllocsPerRun for the guarded
+	// steady-state paths; the CI bench-smoke fails when any entry is
+	// above zero.
+	HotPathAllocs map[string]float64 `json:"hot_path_allocs"`
+	// Reductions maps "AggResidentBytes/N=<n>" to the unbounded dense
+	// footprint over the budgeted resident bytes, and
+	// "SolveDeliveryAllocs/M=4000[/batch]" to the previous baseline's
+	// allocs-per-solve (PrevSolveAllocsM4000) over the current count.
+	Reductions map[string]float64 `json:"reductions"`
+}
+
+// JSON renders the report with stable indentation for committing.
+func (r *MemReport) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// memFill assigns every coverable user a deterministic random decision.
+func memFill(in *model.Instance, l *model.Ledger, s *rng.Stream) {
+	for j := 0; j < in.M(); j++ {
+		if vs := in.Top.Coverage[j]; len(vs) > 0 {
+			i := vs[s.IntN(len(vs))]
+			l.Move(j, model.Alloc{Server: i, Channel: s.IntN(in.Top.Servers[i].Channels)})
+		}
+	}
+}
+
+// RunMem executes the memory suite: aggregate-row records for every
+// tracked N ≤ maxN (0 = no cap), Phase 2 solve-allocation records at
+// M ∈ {400, 4000} with M ≤ maxM (0 = no cap), and the zero-alloc
+// hot-path guards. budget is the per-case time budget of the solve
+// records.
+func RunMem(budget time.Duration, seed uint64, maxN, maxM int, logf func(format string, args ...any)) (*MemReport, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rep := &MemReport{
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Seed:          seed,
+		BudgetPerCase: budget.String(),
+		HotPathAllocs: map[string]float64{},
+		Reductions:    map[string]float64{},
+	}
+
+	// Aggregate-row residency: for each N, run the same workload — fill
+	// a random profile, warm the rows, sweep Benefit probes — once
+	// unbounded (the pre-budget behaviour: every ever-probed receiver
+	// stays resident) and once under the tracked budget (faults,
+	// second-chance evictions and fold fallbacks engaged).
+	const probeBatch = 8192
+	for _, n := range MemScaleNs() {
+		if maxN > 0 && n > maxN {
+			logf("%-28s N=%-5d skipped (max N=%d)", "AggRows", n, maxN)
+			continue
+		}
+		p := experiment.Params{N: n, M: 10 * n, K: 5, Density: 1.0}
+		in, err := experiment.BuildInstance(p, seed)
+		if err != nil {
+			return nil, fmt.Errorf("build instance %v: %w", p, err)
+		}
+		var unbounded model.AggMemStats
+		for _, b := range []int{0, memRowBudget(n)} {
+			name := "AggRows/unbounded"
+			if b > 0 {
+				name = "AggRows/budget"
+			}
+			s := rng.New(seed * 77)
+			l := model.NewLedger(in, model.NewAllocation(in.M()))
+			if b > 0 {
+				l.SetAggRowBudget(b)
+			}
+			memFill(in, l, s)
+			l.WarmAggregates()
+			js, as := benefitProbes(in, s, probeBatch)
+			start := time.Now()
+			for bi := range js {
+				_ = l.Benefit(js[bi], as[bi])
+			}
+			ns := float64(time.Since(start).Nanoseconds()) / probeBatch
+			st := l.AggMemStats()
+			if b == 0 {
+				unbounded = st
+			}
+			rep.Records = append(rep.Records, MemRecord{
+				Name: name, N: p.N, M: p.M, K: p.K, Budget: b,
+				ResidentRows: st.ResidentRows, EverBuiltRows: st.EverBuiltRows,
+				ResidentBytes: st.InUseBytes, ArenaBytes: st.ArenaBytes,
+				DenseEquivBytes: st.DenseEquivBytes,
+				Evictions:       st.Evictions, FallbackEvals: st.FallbackEvals,
+				NsPerOp: ns,
+			})
+			logf("%-28s N=%-5d budget=%-5d resident=%d/%d  %.2f MB (dense-equiv %.2f MB)  %.0f ns/probe",
+				name, n, b, st.ResidentRows, st.EverBuiltRows,
+				float64(st.InUseBytes)/1e6, float64(st.DenseEquivBytes)/1e6, ns)
+			if b > 0 && st.InUseBytes > 0 {
+				// The headline: what the unbounded layout holds for the
+				// same workload over what stays resident under budget.
+				rep.Reductions[fmt.Sprintf("AggResidentBytes/N=%d", n)] =
+					float64(unbounded.DenseEquivBytes) / float64(st.InUseBytes)
+			}
+		}
+	}
+
+	// Phase 2 solve allocations: the eager flat-packed cohort oracle and
+	// the Commit-batching oracle against the previous baseline's
+	// constructor-dominated count.
+	for _, m := range []int{400, 4000} {
+		if maxM > 0 && m > maxM {
+			logf("%-28s M=%-5d skipped (max M=%d)", "SolveDelivery", m, maxM)
+			continue
+		}
+		n := m / 40
+		if n < 10 {
+			n = 10
+		}
+		p := experiment.Params{N: n, M: m, K: 5, Density: 1.0}
+		in, err := experiment.BuildInstance(p, seed)
+		if err != nil {
+			return nil, fmt.Errorf("build instance %v: %w", p, err)
+		}
+		alloc, _ := core.SolvePhase1(in, core.DefaultOptions())
+		for _, batch := range []bool{false, true} {
+			name := "SolveDelivery/optimized"
+			opt := core.Options{}
+			if batch {
+				name = "SolveDelivery/batch"
+				opt.CohortBatch = true
+			}
+			var replicas int
+			iters, ns, ac, bc := measure(budget, 1, func() {
+				_, pres := core.SolveDeliveryOpt(in, alloc, opt)
+				replicas = len(pres.Chosen)
+			})
+			_ = iters
+			rep.Records = append(rep.Records, MemRecord{
+				Name: name, N: p.N, M: p.M, K: p.K,
+				NsPerOp: ns, AllocsPerOp: ac, BytesPerOp: bc, Replicas: replicas,
+			})
+			logf("%-28s N=%-4d M=%-6d %10.1f allocs/op  %12.1f B/op", name, p.N, p.M, ac, bc)
+			if m == 4000 && ac > 0 {
+				key := "SolveDeliveryAllocs/M=4000"
+				if batch {
+					key += "/batch"
+				}
+				rep.Reductions[key] = PrevSolveAllocsM4000 / ac
+			}
+		}
+	}
+
+	// Hot-path zero-alloc guards on a small warm instance. These mirror
+	// the tier-1 tests; the CI bench-smoke fails on any nonzero entry.
+	gp := experiment.Params{N: 20, M: 150, K: 6, Density: 1.0}
+	gin, err := experiment.BuildInstance(gp, seed)
+	if err != nil {
+		return nil, fmt.Errorf("build instance %v: %w", gp, err)
+	}
+	s := rng.New(seed * 77)
+	gl := model.NewLedger(gin, model.NewAllocation(gin.M()))
+	memFill(gin, gl, s)
+	gl.WarmAggregates()
+	js, as := benefitProbes(gin, s, 64)
+	var bi int
+	rep.HotPathAllocs["Ledger.Benefit"] = testing.AllocsPerRun(100, func() {
+		_ = gl.Benefit(js[bi], as[bi])
+		bi = (bi + 1) % len(js)
+	})
+	galloc := gl.Alloc()
+	is, ks := gainProbes(gin, s, 64)
+	cohort := model.NewCohortLatencyState(gin, galloc)
+	var gi int
+	rep.HotPathAllocs["CohortLatencyState.GainOf"] = testing.AllocsPerRun(100, func() {
+		_ = cohort.GainOf(is[gi], ks[gi])
+		gi = (gi + 1) % len(is)
+	})
+	batch := model.NewBatchCohortLatencyState(gin, galloc)
+	gi = 0
+	rep.HotPathAllocs["BatchCohortLatencyState.GainOf"] = testing.AllocsPerRun(100, func() {
+		_ = batch.GainOf(is[gi], ks[gi])
+		gi = (gi + 1) % len(is)
+	})
+	for k, v := range rep.HotPathAllocs {
+		logf("%-36s %.2f allocs/op", "AllocsPerRun/"+k, v)
+	}
+	return rep, nil
+}
+
+// HotPathRegression returns an error naming every guarded hot path
+// whose steady state allocates; cmd/iddebench turns it into a nonzero
+// exit so the CI bench-smoke fails on regressions.
+func (r *MemReport) HotPathRegression() error {
+	for k, v := range r.HotPathAllocs {
+		if v > 0 {
+			return fmt.Errorf("hot path %s allocates (%.2f allocs/op, want 0)", k, v)
+		}
+	}
+	return nil
+}

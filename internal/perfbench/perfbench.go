@@ -62,6 +62,11 @@ type Record struct {
 	// solve (Phase 2 records only); invariant across variants at a
 	// given scale because all engines commit the same sequence.
 	Replicas int `json:"replicas,omitempty"`
+	// Workers is the GOMAXPROCS the record was measured under, set only
+	// by the Phase 2 multi-core sweep (0 = the process default). The
+	// committed sequences are identical across worker counts; only
+	// wall-clock moves.
+	Workers int `json:"workers,omitempty"`
 }
 
 // Report is the BENCH_phase1.json schema.

@@ -43,26 +43,48 @@ func Phase2Scales() []experiment.Params {
 	return ps
 }
 
-// phase2Variants enumerates the Phase 2 engine configurations.
-// "optimized" is the production default; "naive-oracle" isolates the
-// cohort oracle (same CELF engine, per-request walk, sequential
-// seeding); "reference" is the literal Algorithm 1 re-scan over the
-// per-request walk.
-func phase2Variants() []struct {
+// phase2Variant is one tracked Phase 2 engine configuration.
+type phase2Variant struct {
 	Name string
 	Opt  core.Options
 	Ref  bool // subject to ReferenceCapM
-} {
+	// Workers pins GOMAXPROCS for the measurement (0 = leave alone).
+	// The committed sequence is worker-count independent (the parallel
+	// seed scan merges in candidate order), so only wall-clock moves.
+	Workers int
+}
+
+// phase2Variants enumerates the Phase 2 engine configurations.
+// "optimized" is the production default; "batch" adds the
+// Commit-batching oracle with per-item staleness epochs; "naive-oracle"
+// isolates the cohort oracle (same CELF engine, per-request walk,
+// sequential seeding); "reference" is the literal Algorithm 1 re-scan
+// over the per-request walk. The multi-core sweep re-measures the
+// optimized engine under GOMAXPROCS=1 and GOMAXPROCS=NumCPU with the
+// parallel-seed threshold dropped to 1 so the N·K candidate scans
+// (≤500 at every tracked rung, below the default threshold) actually
+// fan out; the pair collapses to the single-core entry on 1-CPU hosts.
+func phase2Variants() []phase2Variant {
 	seq := placement.NewOptions(placement.Options{})
-	return []struct {
-		Name string
-		Opt  core.Options
-		Ref  bool
-	}{
+	par := placement.NewOptions(placement.Options{Parallel: true, ParallelThreshold: 1})
+	vs := []phase2Variant{
 		{Name: "optimized", Opt: core.Options{}},
+		{Name: "batch", Opt: core.Options{CohortBatch: true}},
 		{Name: "naive-oracle", Opt: core.Options{NaiveLatency: true, Placement: seq}},
 		{Name: "reference", Opt: core.Options{NaiveLatency: true, NaiveGreedy: true, Placement: seq}, Ref: true},
 	}
+	workerCounts := []int{1}
+	if ncpu := runtime.NumCPU(); ncpu > 1 {
+		workerCounts = append(workerCounts, ncpu)
+	}
+	for _, w := range workerCounts {
+		vs = append(vs, phase2Variant{
+			Name:    fmt.Sprintf("optimized/workers=%d", w),
+			Opt:     core.Options{Placement: par},
+			Workers: w,
+		})
+	}
+	return vs
 }
 
 // gainProbes draws a deterministic batch of (server, item) candidates
@@ -113,11 +135,15 @@ func RunPhase2Scales(scales []experiment.Params, budget time.Duration, seed uint
 		const batch = 1024
 		s := rng.New(seed * 131)
 		is, ks := gainProbes(in, s, batch)
-		for _, naive := range []bool{false, true} {
-			name := "LatencyGain/cohort"
-			var ls model.DeliveryOracle = model.NewCohortLatencyState(in, alloc)
-			if naive {
-				name = "LatencyGain/naive"
+		for _, kind := range []string{"cohort", "batch", "naive"} {
+			name := "LatencyGain/" + kind
+			var ls model.DeliveryOracle
+			switch kind {
+			case "cohort":
+				ls = model.NewCohortLatencyState(in, alloc)
+			case "batch":
+				ls = model.NewBatchCohortLatencyState(in, alloc)
+			case "naive":
 				ls = model.NewLatencyState(in, alloc)
 			}
 			iters, ns, ac, bc := measure(budget/4, batch, func() {
@@ -139,14 +165,21 @@ func RunPhase2Scales(scales []experiment.Params, budget time.Duration, seed uint
 					"SolveDelivery/"+v.Name, p.N, p.M, ReferenceCapM)
 				continue
 			}
+			if v.Workers > 0 {
+				runtime.GOMAXPROCS(v.Workers)
+			}
 			var pres placement.Result
 			iters, ns, ac, bc := measure(budget, 1, func() {
 				_, pres = core.SolveDeliveryOpt(in, alloc, v.Opt)
 			})
+			if v.Workers > 0 {
+				runtime.GOMAXPROCS(rep.GOMAXPROCS)
+			}
 			rep.Records = append(rep.Records, Record{
 				Name: "SolveDelivery/" + v.Name, N: p.N, M: p.M, K: p.K,
 				Iters: iters, NsPerOp: ns, AllocsPerOp: ac, BytesPerOp: bc,
 				Evaluations: pres.Evaluations, Replicas: len(pres.Chosen),
+				Workers: v.Workers,
 			})
 			logf("%-28s N=%-4d M=%-6d %12.1f ns/op  (replicas=%d evals=%d)",
 				"SolveDelivery/"+v.Name, p.N, p.M, ns, len(pres.Chosen), pres.Evaluations)
@@ -170,6 +203,19 @@ func RunPhase2Scales(scales []experiment.Params, budget time.Duration, seed uint
 		optG, okO := byKey[fmt.Sprintf("LatencyGain/cohort/M=%d", p.M)]
 		if okR && okO && optG.NsPerOp > 0 {
 			rep.Speedups[fmt.Sprintf("LatencyGain/M=%d", p.M)] = refG.NsPerOp / optG.NsPerOp
+		}
+		// Commit-batching oracle vs the eager cohort oracle (same CELF
+		// engine, bit-identical sequences).
+		bat, okB := byKey[fmt.Sprintf("SolveDelivery/batch/M=%d", p.M)]
+		if okB && bat.NsPerOp > 0 && opt.NsPerOp > 0 {
+			rep.Speedups[fmt.Sprintf("SolveDelivery/batch/M=%d", p.M)] = opt.NsPerOp / bat.NsPerOp
+		}
+		// Multi-core seed scan: GOMAXPROCS=1 vs all cores (absent on
+		// 1-CPU hosts, where the sweep collapses to a single entry).
+		w1, ok1 := byKey[fmt.Sprintf("SolveDelivery/optimized/workers=1/M=%d", p.M)]
+		wn, okN := byKey[fmt.Sprintf("SolveDelivery/optimized/workers=%d/M=%d", runtime.NumCPU(), p.M)]
+		if ok1 && okN && runtime.NumCPU() > 1 && wn.NsPerOp > 0 {
+			rep.Speedups[fmt.Sprintf("SolveDelivery/parallel-seed/M=%d", p.M)] = w1.NsPerOp / wn.NsPerOp
 		}
 	}
 	return rep, nil

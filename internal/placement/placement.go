@@ -67,6 +67,16 @@ type Options struct {
 	// ParallelThreshold is the minimum candidate count before the
 	// parallel scan kicks in; 0 means DefaultParallelThreshold.
 	ParallelThreshold int
+	// ItemLocalGains declares that a Commit only changes the gains of
+	// candidates sharing its Item — true for the IDDE delivery oracles,
+	// whose cohorts are partitioned by item (feasibility may still
+	// change across items; it is re-checked at every pop). LazyGreedy
+	// then tracks staleness per item instead of globally, skipping
+	// refresh evaluations whose result is provably the cached ratio.
+	// The pop — and therefore commit — sequence is bit-identical; only
+	// Result.Evaluations drops (the same argument as the game engine's
+	// dirty-set scheduler).
+	ItemLocalGains bool
 	// Set marks the Options as explicitly configured, shielding an
 	// intentionally all-zero configuration from default replacement by
 	// embedders (mirrors game.Options.Set).
@@ -152,6 +162,19 @@ func LazyGreedyOpt(cands []Candidate, o Oracle, opt Options) Result {
 	pq := seedHeap(cands, o, opt, &res)
 	pq.init()
 	res.Chosen = make([]Candidate, 0, len(pq))
+	// With ItemLocalGains the staleness epoch is tracked per item: a
+	// commit bumps only its own item's epoch, so candidates of other
+	// items keep their provably unchanged cached ratios.
+	var itemRound []int
+	if opt.ItemLocalGains {
+		maxItem := -1
+		for _, c := range cands {
+			if c.Item > maxItem {
+				maxItem = c.Item
+			}
+		}
+		itemRound = make([]int, maxItem+1)
+	}
 	round := 0
 	for len(pq) > 0 {
 		top := pq[0]
@@ -159,7 +182,11 @@ func LazyGreedyOpt(cands []Candidate, o Oracle, opt Options) Result {
 			pq.popTop() // capacity shrank; gone forever
 			continue
 		}
-		if top.round != round {
+		epoch := round
+		if itemRound != nil {
+			epoch = itemRound[top.c.Item]
+		}
+		if top.round != epoch {
 			// Stale bound: refresh and reposition. Submodularity means the
 			// refreshed ratio never rises, so sifting down from the root is
 			// the complete repositioning.
@@ -170,7 +197,7 @@ func LazyGreedyOpt(cands []Candidate, o Oracle, opt Options) Result {
 				continue
 			}
 			pq[0].ratio = g / math.Max(o.Cost(top.c), 1e-12)
-			pq[0].round = round
+			pq[0].round = epoch
 			pq.siftDown(0)
 			continue
 		}
@@ -178,6 +205,9 @@ func LazyGreedyOpt(cands []Candidate, o Oracle, opt Options) Result {
 		res.TotalGain += o.Commit(top.c)
 		res.Chosen = append(res.Chosen, top.c)
 		round++
+		if itemRound != nil {
+			itemRound[top.c.Item]++
+		}
 	}
 	return res
 }
@@ -210,12 +240,19 @@ func seedHeap(cands []Candidate, o Oracle, opt Options, res *Result) lazyHeap {
 		return pq
 	}
 
-	type seed struct {
-		ratio     float64
-		evaluated bool
-		positive  bool
+	sp, _ := seedPool.Get().(*[]seed)
+	if sp == nil {
+		sp = new([]seed)
 	}
-	seeds := make([]seed, len(cands))
+	seeds := *sp
+	if cap(seeds) < len(cands) {
+		seeds = make([]seed, len(cands))
+	} else {
+		// Recycled scratch: workers skip infeasible candidates, so stale
+		// entries from the previous scan must be cleared first.
+		seeds = seeds[:len(cands)]
+		clear(seeds)
+	}
 	if workers > len(cands) {
 		workers = len(cands)
 	}
@@ -255,8 +292,20 @@ func seedHeap(cands []Candidate, o Oracle, opt Options, res *Result) lazyHeap {
 			pq = append(pq, lazyEntry{c: cands[idx], idx: idx, ratio: seeds[idx].ratio})
 		}
 	}
+	*sp = seeds
+	seedPool.Put(sp)
 	return pq
 }
+
+// seed is one parallel seed-scan result slot; the slices live in
+// seedPool so repeated solves reuse one scratch buffer.
+type seed struct {
+	ratio     float64
+	evaluated bool
+	positive  bool
+}
+
+var seedPool sync.Pool
 
 type lazyEntry struct {
 	c     Candidate

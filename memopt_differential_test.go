@@ -1,0 +1,174 @@
+package idde
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"idde/internal/core"
+	"idde/internal/experiment"
+	"idde/internal/model"
+	"idde/internal/placement"
+	"idde/internal/units"
+)
+
+// The end-to-end differential suite for the large-N memory work: the
+// bounded aggregate-row ledger, the Commit-batching Phase 2 oracle and
+// the worker-pool scans must all reproduce the unbounded single-core
+// results exactly — not approximately — across allocation, replica
+// sequence and every reported stat.
+
+// deepenBudgets raises every server's storage capacity to at least
+// eight mean item sizes, the regime where the greedy loop commits many
+// replicas per item and the Commit batcher's deferred suffix-collapses
+// actually batch (shallow budgets commit an item at most once or twice
+// per server, hiding collapse bugs).
+func deepenBudgets(in *model.Instance) {
+	var total units.MegaBytes
+	for _, it := range in.Wl.Items {
+		total += it.Size
+	}
+	deep := 8 * total / units.MegaBytes(len(in.Wl.Items))
+	for i := range in.Wl.Capacity {
+		if in.Wl.Capacity[i] < deep {
+			in.Wl.Capacity[i] = deep
+		}
+	}
+}
+
+// TestDeliveryBatchOracleOnDeepBudgets pins the Commit-batching oracle
+// on deep-budget instances (storage ≥ 8× mean item size): all six
+// oracle×engine combinations — including batch with and without the
+// parallel seed scan — must commit the identical replica sequence,
+// delivery profile and bit-identical total gain.
+func TestDeliveryBatchOracleOnDeepBudgets(t *testing.T) {
+	for _, seed := range []uint64{5, 21, 2022} {
+		in, err := experiment.BuildInstance(experiment.Params{N: 15, M: 200, K: 6, Density: 1.0}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deepenBudgets(in)
+		alloc, _ := core.SolvePhase1(in, core.DefaultOptions())
+		checkCombosAgree(t, "deep-budget", in, alloc)
+	}
+}
+
+// solveFingerprint is the worker-count- and budget-independent slice of
+// a core.Result: everything except wall-clock.
+type solveFingerprint struct {
+	Alloc       model.Allocation
+	Delivery    *model.Delivery
+	Phase1      interface{}
+	Replicas    int
+	Evaluations int
+	Reduction   units.Seconds
+	AvgRate     units.Rate
+	AvgLatency  units.Seconds
+}
+
+func fingerprint(res *core.Result) solveFingerprint {
+	return solveFingerprint{
+		Alloc:       res.Strategy.Alloc,
+		Delivery:    res.Strategy.Delivery,
+		Phase1:      res.Phase1,
+		Replicas:    res.Replicas,
+		Evaluations: res.GainEvaluations,
+		Reduction:   res.LatencyReduction,
+		AvgRate:     res.AvgRate,
+		AvgLatency:  res.AvgLatency,
+	}
+}
+
+// TestSolveGomaxprocsInvariance pins the parallel scans' determinism:
+// the dirty-set best-response scan (worker pool) and the parallel CELF
+// seed scan chunk by index and merge in index order, so the full solve
+// — equilibrium allocation, game stats, replica sequence and every
+// objective — must be exactly identical under GOMAXPROCS ∈ {1, 2, 8}.
+func TestSolveGomaxprocsInvariance(t *testing.T) {
+	in, err := experiment.BuildInstance(experiment.Params{N: 20, M: 240, K: 6, Density: 1.0}, 2022)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	// Drop both parallel thresholds to 1 so the scans fan out even at
+	// this test scale (and even for single-player dirty rounds).
+	opt.Game.ParallelThreshold = 1
+	opt.Placement = placement.NewOptions(placement.Options{Parallel: true, ParallelThreshold: 1})
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var base solveFingerprint
+	for gi, g := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(g)
+		fp := fingerprint(core.Solve(in, opt))
+		if gi == 0 {
+			base = fp
+			continue
+		}
+		if !reflect.DeepEqual(fp, base) {
+			t.Fatalf("GOMAXPROCS=%d solve diverges from GOMAXPROCS=1:\n%+v\nvs\n%+v", g, fp, base)
+		}
+	}
+}
+
+// TestSolveAggRowBudgetMatchesUnbounded pins the bounded-residency
+// ledger: capping the resident aggregate rows — all the way down to a
+// single row, where almost every evaluation takes the fold fallback or
+// a fault-triggered rebuild — must leave the equilibrium allocation and
+// the game stats exactly identical to the unbounded ledger, because
+// both the fallback and rebuilt rows replay the same left-to-right
+// fold the maintained rows hold.
+func TestSolveAggRowBudgetMatchesUnbounded(t *testing.T) {
+	for _, p := range []experiment.Params{
+		{N: 12, M: 90, K: 5, Density: 1.0},
+		{N: 25, M: 260, K: 5, Density: 1.0},
+	} {
+		in, err := experiment.BuildInstance(p, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseAlloc, baseStats := core.SolvePhase1(in, core.DefaultOptions())
+		for _, budget := range []int{1, 3, p.N / 4, p.N / 2} {
+			if budget < 1 {
+				continue
+			}
+			opt := core.DefaultOptions()
+			opt.AggRowBudget = budget
+			alloc, stats := core.SolvePhase1(in, opt)
+			if !reflect.DeepEqual(alloc, baseAlloc) {
+				t.Fatalf("%v budget=%d: equilibrium allocation diverges from unbounded", p, budget)
+			}
+			if stats != baseStats {
+				t.Fatalf("%v budget=%d: game stats diverge: %+v vs %+v", p, budget, stats, baseStats)
+			}
+		}
+	}
+}
+
+// TestSolveAggRowBudgetEndToEnd runs the full two-phase solve under a
+// tight row budget and checks the complete result fingerprint against
+// the unbounded solve — Phase 2 consumes the Phase 1 equilibrium, so
+// any budget-induced drift would surface in the delivery profile too.
+func TestSolveAggRowBudgetEndToEnd(t *testing.T) {
+	in, err := experiment.BuildInstance(experiment.Params{N: 20, M: 200, K: 6, Density: 1.0}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := fingerprint(core.Solve(in, core.DefaultOptions()))
+	opt := core.DefaultOptions()
+	opt.AggRowBudget = 5
+	opt.CohortBatch = true
+	got := fingerprint(core.Solve(in, opt))
+	if got.Evaluations >= base.Evaluations {
+		t.Fatalf("per-item staleness epochs saved no evaluations: %d vs %d",
+			got.Evaluations, base.Evaluations)
+	}
+	// The oracle-call count legitimately drops under ItemLocalGains (the
+	// skipped refreshes are provably identical); everything observable —
+	// allocation, profile, stats, objectives — must match exactly.
+	got.Evaluations = base.Evaluations
+	if !reflect.DeepEqual(got, base) {
+		t.Fatalf("budgeted+batch solve diverges from default:\n%+v\nvs\n%+v", got, base)
+	}
+}

@@ -23,10 +23,11 @@ import (
 // per-request reference commits, so every figure CSV is unchanged by
 // the optimization.
 
-// deliveryCombos runs Phase 2 on the four oracle×engine combinations:
+// deliveryCombos runs Phase 2 on the six oracle×engine combinations:
 // optimized (cohort + parallel-seeded CELF), cohort + literal re-scan,
-// naive oracle + sequential CELF, and the full reference (naive oracle
-// + literal re-scan).
+// the Commit-batching oracle with per-item staleness epochs (alone and
+// with the parallel seed scan), naive oracle + sequential CELF, and the
+// full reference (naive oracle + literal re-scan).
 func deliveryCombos(in *model.Instance, alloc model.Allocation) []struct {
 	name string
 	d    *model.Delivery
@@ -40,6 +41,8 @@ func deliveryCombos(in *model.Instance, alloc model.Allocation) []struct {
 	}{
 		{"cohort+lazy-parallel", core.Options{Placement: par}},
 		{"cohort+naive-greedy", core.Options{NaiveGreedy: true}},
+		{"batch+lazy", core.Options{CohortBatch: true, Placement: seq}},
+		{"batch+lazy-parallel", core.Options{CohortBatch: true, Placement: par}},
 		{"naive-oracle+lazy", core.Options{NaiveLatency: true, Placement: seq}},
 		{"reference", core.Options{NaiveLatency: true, NaiveGreedy: true}},
 	}
