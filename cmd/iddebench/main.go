@@ -21,6 +21,7 @@
 //	iddebench -memjson BENCH_mem.json                # regenerate the memory/allocation baseline
 //	iddebench -perfjson out.json -perftime 250ms     # quick CI smoke variant
 //	iddebench -fig 4 -cpuprofile cpu.pb.gz           # pprof any run
+//	iddebench -fig 0 -reps 50 -obs 127.0.0.1:6060    # live pprof/expvar//metrics while it runs
 package main
 
 import (
@@ -35,6 +36,7 @@ import (
 	"idde/internal/baseline"
 	"idde/internal/cloudlat"
 	"idde/internal/experiment"
+	"idde/internal/obs"
 	"idde/internal/perfbench"
 	"idde/internal/rng"
 	"idde/internal/viz"
@@ -51,14 +53,14 @@ func main() {
 // always flush, even when a run fails.
 func realMain() error {
 	var (
-		fig      = flag.Int("fig", 0, "figure to regenerate: 1, 3, 4, 5, 6 or 7 (0 = all)")
-		reps     = flag.Int("reps", 10, "randomized repetitions per x value (paper: 50)")
-		seed     = flag.Uint64("seed", 2022, "master seed")
-		ipBudget = flag.Duration("ip-budget", 500*time.Millisecond, "IDDE-IP solver budget per instance")
-		noIP     = flag.Bool("no-ip", false, "skip the IDDE-IP baseline")
-		outDir   = flag.String("out", "", "directory for CSV output (optional)")
-		list     = flag.Bool("list", false, "print Table 2 and exit")
-		plot     = flag.Bool("plot", false, "also render terminal plots of each figure")
+		fig       = flag.Int("fig", 0, "figure to regenerate: 1, 3, 4, 5, 6 or 7 (0 = all)")
+		reps      = flag.Int("reps", 10, "randomized repetitions per x value (paper: 50)")
+		seed      = flag.Uint64("seed", 2022, "master seed")
+		ipBudget  = flag.Duration("ip-budget", 500*time.Millisecond, "IDDE-IP solver budget per instance")
+		noIP      = flag.Bool("no-ip", false, "skip the IDDE-IP baseline")
+		outDir    = flag.String("out", "", "directory for CSV output (optional)")
+		list      = flag.Bool("list", false, "print Table 2 and exit")
+		plot      = flag.Bool("plot", false, "also render terminal plots of each figure")
 		perfJSON  = flag.String("perfjson", "", "write the Phase 1 perf baseline to this file and exit (skips the figures)")
 		perf2JSON = flag.String("perf2json", "", "write the Phase 2 perf baseline to this file and exit (skips the figures)")
 		perfTime  = flag.Duration("perftime", 2*time.Second, "per-case time budget for -perfjson/-perf2json/-memjson")
@@ -66,10 +68,22 @@ func realMain() error {
 		memJSON   = flag.String("memjson", "", "write the memory/allocation baseline to this file and exit (skips the figures; nonzero exit on hot-path alloc regressions)")
 		memMaxN   = flag.Int("memmaxn", 0, "skip aggregate-row memory scales with more than this many servers (0 = full ladder)")
 		memMaxM   = flag.Int("memmaxm", 0, "skip solve-allocation memory scales with more than this many users (0 = full ladder)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		obsAddr   = flag.String("obs", "", "serve live pprof/expvar//metrics on this address for the duration of the run (e.g. 127.0.0.1:6060)")
 	)
 	flag.Parse()
+
+	var scope *obs.Scope
+	if *obsAddr != "" {
+		scope = obs.Metrics()
+		srv, err := obs.Serve(*obsAddr, scope)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "live telemetry on http://%s (/metrics, /debug/vars, /debug/pprof/)\n", srv.Addr())
+	}
 
 	if *list {
 		fmt.Println(experiment.Table2Markdown())
@@ -95,7 +109,7 @@ func realMain() error {
 	} else if *memJSON != "" {
 		err = runMem(*memJSON, *perfTime, *seed, *memMaxN, *memMaxM)
 	} else {
-		err = run(*fig, *reps, *seed, *ipBudget, *noIP, *outDir, *plot)
+		err = run(*fig, *reps, *seed, *ipBudget, *noIP, *outDir, *plot, scope)
 	}
 	if err == nil && *memProf != "" {
 		err = writeHeapProfile(*memProf)
@@ -217,8 +231,8 @@ func runMem(path string, budget time.Duration, seed uint64, maxN, maxM int) erro
 	return rep.HotPathRegression()
 }
 
-func run(fig, reps int, seed uint64, ipBudget time.Duration, noIP bool, outDir string, plot bool) error {
-	cfg := experiment.Config{Reps: reps, Seed: seed}
+func run(fig, reps int, seed uint64, ipBudget time.Duration, noIP bool, outDir string, plot bool, scope *obs.Scope) error {
+	cfg := experiment.Config{Reps: reps, Seed: seed, Obs: scope}
 	if noIP {
 		cfg.Approaches = baseline.Heuristics()
 	} else {

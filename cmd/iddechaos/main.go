@@ -20,6 +20,7 @@ import (
 	"idde/internal/core"
 	"idde/internal/des"
 	"idde/internal/experiment"
+	"idde/internal/obs"
 	"idde/internal/rng"
 	"idde/internal/units"
 	"idde/internal/viz"
@@ -46,8 +47,20 @@ func main() {
 		spread    = flag.Float64("spread", 5, "request arrival window per epoch (s)")
 		jsonOut   = flag.Bool("json", false, "emit the full sweep report as JSON on stdout")
 		verbose   = flag.Bool("v", false, "print every campaign's per-epoch table")
+		obsAddr   = flag.String("obs", "", "serve live pprof/expvar//metrics on this address for the duration of the sweep (e.g. 127.0.0.1:6060)")
 	)
 	flag.Parse()
+
+	var scope *obs.Scope
+	if *obsAddr != "" {
+		scope = obs.Metrics()
+		srv, err := obs.Serve(*obsAddr, scope)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "live telemetry on http://%s (/metrics, /debug/vars, /debug/pprof/)\n", srv.Addr())
+	}
 
 	if *brownout < 0 || *brownout >= 1 {
 		if *brownout != 0 {
@@ -87,7 +100,7 @@ func main() {
 		return chaos.Correlated(in, gc, s)
 	}
 	sw, err := chaos.MonteCarlo(in, st, gen, chaos.SweepConfig{
-		Config:    chaos.Config{Seed: *seed, Spread: units.Seconds(*spread)},
+		Config:    chaos.Config{Seed: *seed, Spread: units.Seconds(*spread), Obs: scope},
 		Campaigns: *campaigns,
 	})
 	if err != nil {

@@ -1,0 +1,220 @@
+// Command iddetrace runs one seeded IDDE-G solve with full telemetry
+// enabled and renders the solver's convergence timelines: the Phase 1
+// best-response trajectory (average rate, Eq. 13 potential, dirty-set
+// size and winner gain per round) and the Phase 2 CELF commit sequence
+// (gain, ratio, storage consumed and oracle-call count per iteration).
+//
+// Usage:
+//
+//	iddetrace                                # Table 2 fixed config (N=30 M=200 K=5)
+//	iddetrace -n 20 -m 100 -k 4 -seed 7      # any instance size
+//	iddetrace -out results                   # also write trace + timeline artifacts
+//	iddetrace -serve 127.0.0.1:6060          # live pprof/expvar//metrics while running
+//
+// With -out DIR it writes:
+//
+//	DIR/trace.jsonl            one JSON event per line (logical ticks; byte-reproducible per seed)
+//	DIR/trace.chrome.json      Chrome trace_event format — load in chrome://tracing or Perfetto
+//	DIR/phase1_timeline.csv    round, updates, evals, dirty, winner, gain, r_avg[, potential]
+//	DIR/phase2_timeline.csv    iter, server, item, gain, ratio, cost, total_gain, evals
+//	DIR/metrics.txt            Prometheus text dump of every registered metric
+//
+// The process exits nonzero if the run recorded no events — the CI
+// bench-smoke job uses that as the trace-not-empty check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"idde/internal/core"
+	"idde/internal/experiment"
+	"idde/internal/obs"
+)
+
+func main() {
+	if err := realMain(); err != nil {
+		fmt.Fprintln(os.Stderr, "iddetrace:", err)
+		os.Exit(1)
+	}
+}
+
+var phase1Cols = []string{"round", "updates", "evals", "dirty", "winner", "gain", "r_avg", "potential"}
+var phase2Cols = []string{"iter", "server", "item", "gain", "ratio", "cost", "total_gain", "evals"}
+
+func realMain() error {
+	var (
+		n         = flag.Int("n", 30, "edge servers")
+		m         = flag.Int("m", 200, "users")
+		k         = flag.Int("k", 5, "data items")
+		density   = flag.Float64("density", 1.0, "links per server")
+		seed      = flag.Uint64("seed", 2022, "instance seed")
+		potential = flag.Bool("potential", true, "evaluate the Eq. 13 potential every Phase 1 round (O(M²) per round; disable for big instances)")
+		outDir    = flag.String("out", "", "directory for trace + timeline artifacts (optional)")
+		serveAddr = flag.String("serve", "", "serve live pprof/expvar//metrics on this address while running (optional)")
+		maxRows   = flag.Int("rows", 12, "max rows per printed markdown table (head+tail elision; CSVs are always complete)")
+	)
+	flag.Parse()
+
+	p := experiment.Params{N: *n, M: *m, K: *k, Density: *density}
+	in, err := experiment.BuildInstance(p, *seed)
+	if err != nil {
+		return err
+	}
+
+	sc := obs.New()
+	if *serveAddr != "" {
+		srv, err := obs.Serve(*serveAddr, sc)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "live telemetry on http://%s (/metrics, /debug/vars, /debug/pprof/)\n", srv.Addr())
+	}
+
+	opt := core.DefaultOptions()
+	opt.Obs = sc
+	opt.TracePotential = *potential
+	res := core.Solve(in, opt)
+
+	tr := sc.Tracer()
+	if tr.Len() == 0 {
+		return fmt.Errorf("solver emitted no trace events (%v, seed %d)", p, *seed)
+	}
+
+	fmt.Printf("instance %v seed %d: R_avg=%.3f MBps  L_avg=%.4g ms  replicas=%d\n",
+		p, *seed, float64(res.AvgRate), res.AvgLatency.Millis(), res.Replicas)
+	fmt.Printf("phase1: rounds=%d updates=%d evaluations=%d converged=%v frozen=%d\n",
+		res.Phase1.Rounds, res.Phase1.Updates, res.Phase1.Evaluations, res.Phase1.Converged, res.Phase1.Frozen)
+	fmt.Printf("phase2: commits=%d gain_evaluations=%d latency_reduction=%.3f s\n",
+		res.Replicas, res.GainEvaluations, float64(res.LatencyReduction))
+	fmt.Printf("trace: %d events\n\n", tr.Len())
+
+	fmt.Println("## Phase 1 convergence timeline")
+	fmt.Println()
+	fmt.Print(markdownTimeline(tr, "game", "round", phase1Cols, *maxRows))
+	fmt.Println()
+	fmt.Println("## Phase 2 commit timeline")
+	fmt.Println()
+	fmt.Print(markdownTimeline(tr, "placement", "commit", phase2Cols, *maxRows))
+
+	if *outDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	if err := writeWith(filepath.Join(*outDir, "trace.jsonl"), tr.WriteJSONL); err != nil {
+		return err
+	}
+	if err := writeWith(filepath.Join(*outDir, "trace.chrome.json"), tr.WriteChromeTrace); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(*outDir, "phase1_timeline.csv"),
+		[]byte(tr.TimelineCSV("game", "round", phase1Cols)), 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(*outDir, "phase2_timeline.csv"),
+		[]byte(tr.TimelineCSV("placement", "commit", phase2Cols)), 0o644); err != nil {
+		return err
+	}
+	if err := writeWith(filepath.Join(*outDir, "metrics.txt"), sc.Registry().WritePrometheus); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote trace.jsonl, trace.chrome.json, phase1_timeline.csv, phase2_timeline.csv, metrics.txt to %s\n", *outDir)
+	return nil
+}
+
+func writeWith(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// markdownTimeline renders the instant events matching (cat, name) as a
+// markdown table, eliding the middle when there are more than maxRows
+// rows (the CSVs carry the full series).
+func markdownTimeline(tr *obs.Tracer, cat, name string, cols []string, maxRows int) string {
+	var rows [][]string
+	for _, ev := range tr.Events() {
+		if ev.Ph != obs.PhaseInstant || ev.Cat != cat || ev.Name != name {
+			continue
+		}
+		row := make([]string, len(cols))
+		for i, c := range cols {
+			if v, ok := ev.Args[c]; ok {
+				row[i] = fmt.Sprintf("%.6g", toFloat(v))
+			} else {
+				row[i] = "—"
+			}
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) == 0 {
+		return "(no events)\n"
+	}
+	out := "| "
+	for i, c := range cols {
+		if i > 0 {
+			out += " | "
+		}
+		out += c
+	}
+	out += " |\n|"
+	for range cols {
+		out += "---|"
+	}
+	out += "\n"
+	emit := func(r []string) {
+		out += "| "
+		for i, c := range r {
+			if i > 0 {
+				out += " | "
+			}
+			out += c
+		}
+		out += " |\n"
+	}
+	if maxRows <= 0 || len(rows) <= maxRows {
+		for _, r := range rows {
+			emit(r)
+		}
+		return out
+	}
+	head := maxRows / 2
+	tail := maxRows - head
+	for _, r := range rows[:head] {
+		emit(r)
+	}
+	ell := make([]string, len(cols))
+	for i := range ell {
+		ell[i] = "…"
+	}
+	emit(ell)
+	for _, r := range rows[len(rows)-tail:] {
+		emit(r)
+	}
+	return out
+}
+
+func toFloat(v any) float64 {
+	switch x := v.(type) {
+	case float64:
+		return x
+	case int:
+		return float64(x)
+	case int64:
+		return float64(x)
+	default:
+		return 0
+	}
+}

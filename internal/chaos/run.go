@@ -5,6 +5,7 @@ import (
 
 	"idde/internal/des"
 	"idde/internal/model"
+	"idde/internal/obs"
 	"idde/internal/repair"
 	"idde/internal/rng"
 	"idde/internal/stats"
@@ -21,6 +22,12 @@ type Config struct {
 	// Waves bounds the repair re-equilibration (default 2, as in
 	// repair.Options).
 	Waves int
+	// Obs receives the campaign's telemetry: a span per epoch, an
+	// instant event per EpochReport, counters cross-wired from the
+	// campaign totals, and — threaded into the DES — the transfer
+	// counters and per-request latency histogram. nil disables all of
+	// it; reports are identical either way.
+	Obs *obs.Scope
 }
 
 // EpochReport is the measured state of the system during one span of
@@ -114,14 +121,18 @@ func Run(in *model.Instance, st model.Strategy, c Campaign, cfg Config) (*Campai
 	root := rng.New(cfg.Seed)
 	rep := &CampaignReport{Name: c.Name, Seed: cfg.Seed}
 
+	sc := cfg.Obs
 	healthyRate, _ := in.Evaluate(st)
 	rep.HealthyRateMBps = float64(healthyRate)
-	healthySim := des.SimulateStrategy(in, st, cfg.Spread, root.Split("healthy"))
+	healthySim := des.SimulateStrategyOpt(in, st, des.SimOptions{Spread: cfg.Spread, Obs: sc}, root.Split("healthy"))
 	rep.HealthyLatencyMs = healthySim.Avg.Millis()
 	baseServed := st.Alloc.AllocatedCount()
 
 	prevIn, prevSt := in, st
 	for ei, t := range c.epochs() {
+		if sc.Tracing() {
+			sc.Begin("chaos", "epoch", map[string]any{"index": ei, "start_s": float64(t)})
+		}
 		d := c.degradationAt(t)
 		deg, err := repair.Degrade(in, d)
 		if err != nil {
@@ -134,11 +145,12 @@ func Run(in *model.Instance, st model.Strategy, c Campaign, cfg Config) (*Campai
 
 		var sim *des.Report
 		epochStream := root.SplitN("epoch", ei)
+		simOpt := des.SimOptions{Spread: cfg.Spread, Obs: sc}
 		if c.Faults.Enabled() && (len(d.FailedServers) > 0 || len(d.CutLinks) > 0 || d.CloudFactor > 0) {
-			sim = des.SimulateStrategyFaulty(deg, repaired, cfg.Spread, c.Faults, epochStream)
-		} else {
-			sim = des.SimulateStrategy(deg, repaired, cfg.Spread, epochStream)
+			f := c.Faults
+			simOpt.Faults = &f
 		}
+		sim = des.SimulateStrategyOpt(deg, repaired, simOpt, epochStream)
 
 		rate, _ := deg.Evaluate(repaired)
 		stranded := 0.0
@@ -192,9 +204,49 @@ func Run(in *model.Instance, st model.Strategy, c Campaign, cfg Config) (*Campai
 		rep.TotalLostReplicas += er.LostReplicas
 		rep.TotalReplaced += er.ReplacedReplicas
 
+		if sc.Tracing() {
+			sc.Instant("chaos", "epoch.report", map[string]any{
+				"index":             ei,
+				"start_s":           float64(er.Start),
+				"down_servers":      er.DownServers,
+				"cut_links":         er.CutLinks,
+				"cloud_factor":      er.CloudFactor,
+				"stranded_frac":     er.StrandedFrac,
+				"rate_mbps":         er.RateMBps,
+				"rate_drop":         er.RateDrop,
+				"latency_ms":        er.LatencyMs,
+				"latency_inflation": er.LatencyInflation,
+				"moves":             er.Moves,
+				"lost_replicas":     er.LostReplicas,
+				"replaced_replicas": er.ReplacedReplicas,
+			})
+			sc.End("chaos", "epoch")
+		}
+
 		prevIn, prevSt = deg, repaired
 	}
+	publishCampaign(sc, rep)
 	return rep, nil
+}
+
+// publishCampaign cross-wires the campaign totals into the scope's
+// registry; the report fields and the counters are written from the
+// same values, so they can never drift.
+func publishCampaign(sc *obs.Scope, rep *CampaignReport) {
+	if !sc.Enabled() {
+		return
+	}
+	sc.Count("chaos_campaigns_total", 1)
+	sc.Count("chaos_epochs_total", int64(len(rep.Epochs)))
+	sc.Count("chaos_retries_total", int64(rep.TotalRetries))
+	sc.Count("chaos_failovers_total", int64(rep.TotalFailovers))
+	sc.Count("chaos_cloud_fallbacks_total", int64(rep.TotalCloudFallbacks))
+	sc.Count("chaos_moves_total", int64(rep.TotalMoves))
+	sc.Count("chaos_lost_replicas_total", int64(rep.TotalLostReplicas))
+	sc.Count("chaos_replaced_replicas_total", int64(rep.TotalReplaced))
+	sc.SetGauge("chaos_last_worst_stranded_frac", rep.WorstStrandedFrac)
+	sc.SetGauge("chaos_last_worst_latency_inflation", rep.WorstLatencyInflation)
+	sc.SetGauge("chaos_last_worst_rate_drop", rep.WorstRateDrop)
 }
 
 // Generator draws the i-th campaign of a sweep from its dedicated

@@ -21,6 +21,7 @@ import (
 
 	"idde/internal/game"
 	"idde/internal/model"
+	"idde/internal/obs"
 	"idde/internal/placement"
 	"idde/internal/units"
 )
@@ -70,6 +71,19 @@ type Options struct {
 	// an intentionally all-zero configuration must carry
 	// placement.Options.Set (see placement.NewOptions) to be preserved.
 	Placement placement.Options
+	// Obs receives the solver's telemetry and is threaded into both
+	// phase engines: phase spans, per-round / per-commit trace events,
+	// counters cross-wired from game.Stats and placement.Result, and
+	// the Ledger's AggMemStats gauges. nil (the default) disables all
+	// of it; the solution is identical either way. The scope set here
+	// wins over any scope carried inside Game/Placement.
+	Obs *obs.Scope
+	// TracePotential additionally evaluates the Eq. 13 potential
+	// function after every Phase 1 round and attaches it to the round's
+	// trace event. Potential is O(M²)-ish per evaluation, so this is
+	// for convergence studies on Table 2-sized instances; it is ignored
+	// unless Obs has a tracer attached.
+	TracePotential bool
 }
 
 // DefaultOptions returns the configuration used in the experiments.
@@ -98,19 +112,27 @@ func ReferenceOptions() Options {
 
 // resolveGameOptions replaces an unset zero-value game.Options with the
 // defaults. Explicitly configured options — even all-zero ones, which
-// carry game.Options.Set — pass through verbatim.
+// carry game.Options.Set — pass through verbatim. A telemetry scope is
+// not configuration: it is stripped before the zero-value comparison
+// and re-attached, so Options{Obs: sc} still resolves to the defaults.
 func resolveGameOptions(o game.Options) game.Options {
+	sc := o.Obs
+	o.Obs = nil
 	if o == (game.Options{}) {
-		return game.DefaultOptions()
+		o = game.DefaultOptions()
 	}
+	o.Obs = sc
 	return o
 }
 
 // resolvePlacementOptions is the placement.Options analogue.
 func resolvePlacementOptions(o placement.Options) placement.Options {
+	sc := o.Obs
+	o.Obs = nil
 	if o == (placement.Options{}) {
-		return placement.DefaultOptions()
+		o = placement.DefaultOptions()
 	}
+	o.Obs = sc
 	return o
 }
 
@@ -144,6 +166,8 @@ type Result struct {
 // without Phase 2 noise; Solve goes through the same path.
 func SolvePhase1(in *model.Instance, opt Options) (model.Allocation, game.Stats) {
 	opt.Game = resolveGameOptions(opt.Game)
+	sc := scopeOf(opt)
+	opt.Game.Obs = sc
 	ledger := model.NewLedger(in, model.NewAllocation(in.M()))
 	if opt.NaiveInterference {
 		ledger.SetNaiveInterference(true)
@@ -151,14 +175,61 @@ func SolvePhase1(in *model.Instance, opt Options) (model.Allocation, game.Stats)
 	if opt.AggRowBudget > 0 {
 		ledger.SetAggRowBudget(opt.AggRowBudget)
 	}
-	adapter := &allocGame{in: in, l: ledger}
+	adapter := &allocGame{in: in, l: ledger, tracePotential: opt.TracePotential}
+	sc.Begin("solve", "phase1", nil)
 	st := game.Run[model.Alloc](adapter, opt.Game)
+	sc.End("solve", "phase1")
+	publishAggStats(sc, ledger)
 	return ledger.Alloc(), st
+}
+
+// scopeOf resolves the solver-level telemetry scope: Options.Obs wins,
+// else a scope already carried by the resolved game options (set by a
+// caller that configured the engine directly).
+func scopeOf(opt Options) *obs.Scope {
+	if opt.Obs != nil {
+		return opt.Obs
+	}
+	return opt.Game.Obs
+}
+
+// publishAggStats snapshots the ledger's aggregate-row memory
+// accounting (model.AggMemStats) into gauges and, when tracing, an
+// instant event. Called after Phase 1 returns — a quiescent point, as
+// AggMemStats requires.
+func publishAggStats(sc *obs.Scope, l *model.Ledger) {
+	if !sc.Enabled() {
+		return
+	}
+	st := l.AggMemStats()
+	sc.SetGauge("agg_resident_rows", float64(st.ResidentRows))
+	sc.SetGauge("agg_ever_built_rows", float64(st.EverBuiltRows))
+	sc.SetGauge("agg_row_budget", float64(st.RowBudget))
+	sc.SetGauge("agg_arena_bytes", float64(st.ArenaBytes))
+	sc.SetGauge("agg_in_use_bytes", float64(st.InUseBytes))
+	sc.SetGauge("agg_dense_equiv_bytes", float64(st.DenseEquivBytes))
+	sc.Count("agg_evictions_total", st.Evictions)
+	sc.Count("agg_fallback_evals_total", st.FallbackEvals)
+	if !sc.Tracing() {
+		return
+	}
+	sc.Instant("solve", "agg_mem", map[string]any{
+		"resident_rows":     st.ResidentRows,
+		"ever_built_rows":   st.EverBuiltRows,
+		"row_budget":        st.RowBudget,
+		"arena_bytes":       st.ArenaBytes,
+		"in_use_bytes":      st.InUseBytes,
+		"dense_equiv_bytes": st.DenseEquivBytes,
+		"evictions":         st.Evictions,
+		"fallback_evals":    st.FallbackEvals,
+	})
 }
 
 // Solve runs IDDE-G on the instance.
 func Solve(in *model.Instance, opt Options) *Result {
 	opt.Game = resolveGameOptions(opt.Game)
+	sc := scopeOf(opt)
+	opt.Game.Obs = sc
 	res := &Result{}
 
 	// Phase 1 — IDDE-U game for the user allocation profile.
@@ -170,8 +241,11 @@ func Solve(in *model.Instance, opt Options) *Result {
 	if opt.AggRowBudget > 0 {
 		ledger.SetAggRowBudget(opt.AggRowBudget)
 	}
-	adapter := &allocGame{in: in, l: ledger}
+	adapter := &allocGame{in: in, l: ledger, tracePotential: opt.TracePotential}
+	sc.Begin("solve", "phase1", nil)
 	res.Phase1 = game.Run[model.Alloc](adapter, opt.Game)
+	sc.End("solve", "phase1")
+	publishAggStats(sc, ledger)
 	alloc := ledger.Alloc()
 	res.Phase1Time = time.Since(t0)
 
@@ -186,6 +260,17 @@ func Solve(in *model.Instance, opt Options) *Result {
 	res.LatencyReduction = units.Seconds(pres.TotalGain)
 	res.AvgRate = ledger.AvgRate()
 	res.AvgLatency = in.AvgLatency(alloc, delivery)
+	if sc.Enabled() {
+		// Cross-wire the Result instrumentation; wall-clock stays out
+		// of the trace (logical ticks only) but is fine in gauges.
+		sc.Count("solve_runs_total", 1)
+		sc.Count("solve_replicas_total", int64(res.Replicas))
+		sc.SetGauge("solve_last_avg_rate_mbps", float64(res.AvgRate))
+		sc.SetGauge("solve_last_avg_latency_ms", res.AvgLatency.Millis())
+		sc.SetGauge("solve_last_latency_reduction_s", float64(res.LatencyReduction))
+		sc.SetGauge("solve_last_phase1_ms", float64(res.Phase1Time.Milliseconds()))
+		sc.SetGauge("solve_last_phase2_ms", float64(res.Phase2Time.Milliseconds()))
+	}
 	return res
 }
 
@@ -235,11 +320,16 @@ func solveDelivery(in *model.Instance, alloc model.Allocation, opt Options) (*mo
 			cands = append(cands, placement.Candidate{Server: i, Item: k})
 		}
 	}
+	sc := scopeOf(opt)
+	sc.Begin("solve", "phase2", nil)
 	var pres placement.Result
 	if opt.NaiveGreedy {
-		pres = placement.Greedy(cands, oracle)
+		pres = placement.GreedyOpt(cands, oracle, placement.Options{Obs: sc})
 	} else {
 		popt := resolvePlacementOptions(opt.Placement)
+		if sc != nil {
+			popt.Obs = sc
+		}
 		if opt.CohortBatch && !opt.NaiveLatency {
 			// The batch oracle's cohorts are partitioned by item, so a
 			// Commit can only move gains of its own item: per-item
@@ -248,6 +338,7 @@ func solveDelivery(in *model.Instance, alloc model.Allocation, opt Options) (*mo
 		}
 		pres = placement.LazyGreedyOpt(cands, oracle, popt)
 	}
+	sc.End("solve", "phase2")
 	return oracle.d, pres
 }
 

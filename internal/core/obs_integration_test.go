@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"idde/internal/obs"
+)
+
+// solveTraced runs one fully traced solve and returns the scope.
+func solveTraced(t *testing.T, seed uint64, tracePotential bool) (*obs.Scope, *Result) {
+	t.Helper()
+	in := genInstance(t, 8, 40, 3, 1.0, seed)
+	sc := obs.New()
+	opt := DefaultOptions()
+	opt.Obs = sc
+	opt.TracePotential = tracePotential
+	return sc, Solve(in, opt)
+}
+
+// TestTraceDeterminism is the observability regression the tooling
+// relies on: two solves of the same seeded instance, each with a fresh
+// scope, must serialize byte-identical JSONL traces — logical ticks and
+// sorted-key JSON leave no room for run-to-run noise.
+func TestTraceDeterminism(t *testing.T) {
+	scA, _ := solveTraced(t, 7, true)
+	scB, _ := solveTraced(t, 7, true)
+	var a, b bytes.Buffer
+	if err := scA.Tracer().WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := scB.Tracer().WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == 0 {
+		t.Fatal("traced solve emitted no events")
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same-seed solves emitted different traces")
+	}
+}
+
+// TestTraceContent checks the solver actually emits the advertised
+// phase events with their domain attributes.
+func TestTraceContent(t *testing.T) {
+	sc, res := solveTraced(t, 11, true)
+	var rounds, commits, begins, ends int
+	var sawRAvg, sawPotential, sawDirty bool
+	for _, ev := range sc.Tracer().Events() {
+		switch {
+		case ev.Cat == "solve" && ev.Ph == obs.PhaseBegin:
+			begins++
+		case ev.Cat == "solve" && ev.Ph == obs.PhaseEnd:
+			ends++
+		case ev.Cat == "game" && ev.Name == "round":
+			rounds++
+			if _, ok := ev.Args["r_avg"]; ok {
+				sawRAvg = true
+			}
+			if _, ok := ev.Args["potential"]; ok {
+				sawPotential = true
+			}
+			if _, ok := ev.Args["dirty"]; ok {
+				sawDirty = true
+			}
+		case ev.Cat == "placement" && ev.Name == "commit":
+			commits++
+		}
+	}
+	if begins < 2 || ends < 2 {
+		t.Errorf("expected phase1+phase2 spans, got %d begins / %d ends", begins, ends)
+	}
+	if rounds != res.Phase1.Rounds {
+		t.Errorf("round events = %d, Phase1.Rounds = %d", rounds, res.Phase1.Rounds)
+	}
+	if commits != res.Replicas {
+		t.Errorf("commit events = %d, Replicas = %d", commits, res.Replicas)
+	}
+	if !sawRAvg || !sawPotential || !sawDirty {
+		t.Errorf("round attributes missing: r_avg=%v potential=%v dirty=%v",
+			sawRAvg, sawPotential, sawDirty)
+	}
+
+	// Without TracePotential the expensive attribute must not appear.
+	sc2, _ := solveTraced(t, 11, false)
+	for _, ev := range sc2.Tracer().Events() {
+		if ev.Cat == "game" && ev.Name == "round" {
+			if _, ok := ev.Args["potential"]; ok {
+				t.Fatal("potential recorded with TracePotential off")
+			}
+		}
+	}
+}
+
+// TestScopeDoesNotPerturbSolve: attaching telemetry must be purely
+// observational — strategy and stats identical to an untraced solve.
+func TestScopeDoesNotPerturbSolve(t *testing.T) {
+	in := genInstance(t, 8, 40, 3, 1.0, 13)
+	plain := Solve(in, DefaultOptions())
+
+	in2 := genInstance(t, 8, 40, 3, 1.0, 13)
+	opt := DefaultOptions()
+	opt.Obs = obs.New()
+	opt.TracePotential = true
+	traced := Solve(in2, opt)
+
+	if !reflect.DeepEqual(plain.Strategy, traced.Strategy) {
+		t.Fatal("telemetry changed the computed strategy")
+	}
+	if plain.AvgRate != traced.AvgRate || plain.AvgLatency != traced.AvgLatency ||
+		plain.Replicas != traced.Replicas || plain.Phase1 != traced.Phase1 {
+		t.Fatalf("telemetry changed reported stats: %+v vs %+v", plain, traced)
+	}
+}
+
+// TestCrossWiredCounters: the registry metrics are written from the
+// same values as the legacy stats structs, so they must agree exactly.
+func TestCrossWiredCounters(t *testing.T) {
+	sc, res := solveTraced(t, 17, false)
+	reg := sc.Registry()
+	checks := []struct {
+		metric string
+		want   int64
+	}{
+		{"game_rounds_total", int64(res.Phase1.Rounds)},
+		{"game_updates_total", int64(res.Phase1.Updates)},
+		{"game_evaluations_total", int64(res.Phase1.Evaluations)},
+		{"solve_replicas_total", int64(res.Replicas)},
+		{"placement_evaluations_total", int64(res.GainEvaluations)},
+		{"placement_commits_total", int64(res.Replicas)},
+		{"solve_runs_total", 1},
+		{"game_runs_total", 1},
+	}
+	for _, c := range checks {
+		if got := reg.Counter(c.metric).Value(); got != c.want {
+			t.Errorf("%s = %d, want %d", c.metric, got, c.want)
+		}
+	}
+	if g := reg.Gauge("solve_last_avg_rate_mbps").Value(); g != float64(res.AvgRate) {
+		t.Errorf("solve_last_avg_rate_mbps = %g, want %g", g, float64(res.AvgRate))
+	}
+}

@@ -16,6 +16,10 @@ type allocGame struct {
 	// aff is the reusable Affected buffer (Affected/Apply are
 	// serialized by the engine).
 	aff []int
+	// tracePotential adds the Eq. 13 potential to every traced round
+	// (see Options.TracePotential); RoundMetrics is only invoked on
+	// traced runs, so the cost never reaches production paths.
+	tracePotential bool
 }
 
 func (g *allocGame) NumPlayers() int { return g.in.M() }
@@ -39,6 +43,18 @@ func (g *allocGame) Best(j int) (model.Alloc, float64, float64) {
 }
 
 func (g *allocGame) Apply(j int, a model.Alloc) { g.l.Move(j, a) }
+
+// RoundMetrics implements game.RoundMetrics: every traced round records
+// the Eq. 5 average rate of the current profile (the convergence
+// quantity Figures 3–6 report) and, under Options.TracePotential, the
+// Eq. 13 ordinal potential whose monotone climb is Theorem 3's
+// termination argument.
+func (g *allocGame) RoundMetrics(put func(key string, v float64)) {
+	put("r_avg", float64(g.l.AvgRate()))
+	if g.tracePotential {
+		put("potential", Potential(g.in, g.l.Alloc()))
+	}
+}
 
 // Affected implements game.Localized. A commit by user j only mutates
 // the two (server, channel) cells it leaves and enters, and player q's

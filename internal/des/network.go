@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"idde/internal/model"
+	"idde/internal/obs"
 	"idde/internal/rng"
 	"idde/internal/units"
 )
@@ -138,8 +139,35 @@ func countRequests(in *model.Instance) int {
 // burst, the worst case for contention); arrival order is drawn from
 // the stream.
 func SimulateStrategy(in *model.Instance, st model.Strategy, spread units.Seconds, s *rng.Stream) *Report {
-	arrivals := Uniform{Window: spread}.Times(countRequests(in), s.Split("arrivals"))
-	return simulate(in, st, arrivals, s.Split("order"), nil, nil)
+	return SimulateStrategyOpt(in, st, SimOptions{Spread: spread}, s)
+}
+
+// SimOptions bundles the simulation knobs for SimulateStrategyOpt.
+type SimOptions struct {
+	// Spread is the request-arrival window (0 = synchronized burst).
+	Spread units.Seconds
+	// Faults enables the unreliable-transfer mode (nil = reliable).
+	Faults *Faults
+	// Obs receives the run's telemetry: a run span, transfer-outcome
+	// counters cross-wired from the Report, and a per-request latency
+	// histogram. nil disables all of it; the Report is identical
+	// either way (rng splits are label-derived, so attaching a scope
+	// never perturbs the draws).
+	Obs *obs.Scope
+}
+
+// SimulateStrategyOpt is SimulateStrategy/SimulateStrategyFaulty behind
+// one options surface, with optional telemetry.
+func SimulateStrategyOpt(in *model.Instance, st model.Strategy, opt SimOptions, s *rng.Stream) *Report {
+	arrivals := Uniform{Window: opt.Spread}.Times(countRequests(in), s.Split("arrivals"))
+	var f *Faults
+	var fs *rng.Stream
+	if opt.Faults != nil {
+		nf := opt.Faults.normalized()
+		f = &nf
+		fs = s.Split("faults")
+	}
+	return simulateObs(in, st, arrivals, s.Split("order"), f, fs, opt.Obs)
 }
 
 // SimulateStrategyFaulty is SimulateStrategy in the unreliable-transfer
@@ -149,9 +177,44 @@ func SimulateStrategy(in *model.Instance, st model.Strategy, spread units.Second
 // dedicated split of the stream, so a given seed reproduces the exact
 // same degradation bit-for-bit.
 func SimulateStrategyFaulty(in *model.Instance, st model.Strategy, spread units.Seconds, f Faults, s *rng.Stream) *Report {
-	arrivals := Uniform{Window: spread}.Times(countRequests(in), s.Split("arrivals"))
-	nf := f.normalized()
-	return simulate(in, st, arrivals, s.Split("order"), &nf, s.Split("faults"))
+	return SimulateStrategyOpt(in, st, SimOptions{Spread: spread, Faults: &f}, s)
+}
+
+// simulateObs wraps simulate with the run span and the Report→metrics
+// cross-wiring; both are written from the same Report fields, so the
+// struct and the counters can never drift.
+func simulateObs(in *model.Instance, st model.Strategy, arrivals []units.Seconds, s *rng.Stream, faults *Faults, fs *rng.Stream, sc *obs.Scope) *Report {
+	sc.Begin("des", "run", nil)
+	rep := simulate(in, st, arrivals, s, faults, fs)
+	if sc.Enabled() {
+		sc.Count("des_runs_total", 1)
+		sc.Count("des_requests_total", int64(len(rep.PerRequest)))
+		sc.Count("des_events_total", int64(rep.Events))
+		sc.Count("des_cloud_requests_total", int64(rep.CloudRequests))
+		sc.Count("des_retries_total", int64(rep.Retries))
+		sc.Count("des_failovers_total", int64(rep.Failovers))
+		sc.Count("des_cloud_fallbacks_total", int64(rep.CloudFallbacks))
+		sc.Count("des_stalls_total", int64(rep.Stalls))
+		for _, l := range rep.PerRequest {
+			sc.Observe("des_request_latency_ms", l.Millis())
+		}
+		if sc.Tracing() {
+			sc.Instant("des", "report", map[string]any{
+				"requests":        len(rep.PerRequest),
+				"events":          rep.Events,
+				"avg_ms":          rep.Avg.Millis(),
+				"analytic_ms":     rep.AnalyticAvg.Millis(),
+				"makespan_ms":     rep.makespan.Millis(),
+				"cloud_requests":  rep.CloudRequests,
+				"retries":         rep.Retries,
+				"failovers":       rep.Failovers,
+				"cloud_fallbacks": rep.CloudFallbacks,
+				"stalls":          rep.Stalls,
+			})
+		}
+	}
+	sc.End("des", "run")
+	return rep
 }
 
 // simulate executes the workload's transfers with the given per-request

@@ -8,6 +8,7 @@ import (
 
 	"idde/internal/baseline"
 	"idde/internal/model"
+	"idde/internal/obs"
 	"idde/internal/radio"
 	"idde/internal/rng"
 	"idde/internal/stats"
@@ -26,6 +27,12 @@ type Config struct {
 	Approaches []baseline.Approach
 	// Workers bounds parallel replicas (default GOMAXPROCS).
 	Workers int
+	// Obs receives harness-level telemetry: a span per set and
+	// progress counters (instances built, approach solves). Reps run
+	// concurrently, so only order-free counters are recorded from the
+	// workers — trace events come from the serialized section alone,
+	// keeping traces deterministic. nil disables all of it.
+	Obs *obs.Scope
 }
 
 // DefaultConfig mirrors §4.3 (50 repetitions, all five approaches).
@@ -100,6 +107,12 @@ func RunSet(set Set, cfg Config) (*SetResult, error) {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	start := time.Now()
+	if cfg.Obs.Tracing() {
+		cfg.Obs.Begin("experiment", "set", map[string]any{
+			"id": set.ID, "vary": set.Vary, "xs": len(set.Values), "reps": cfg.Reps,
+		})
+		defer cfg.Obs.End("experiment", "set")
+	}
 
 	type task struct{ xi, rep int }
 	type taskResult struct {
@@ -186,11 +199,13 @@ func runRep(set Set, cfg Config, xi, rep int) ([]measurement, error) {
 	if err != nil {
 		return nil, fmt.Errorf("set #%d x=%v rep %d: %w", set.ID, set.Values[xi], rep, err)
 	}
+	cfg.Obs.Count("experiment_instances_total", 1)
 	ms := make([]measurement, 0, len(cfg.Approaches))
 	for _, ap := range cfg.Approaches {
 		t0 := time.Now()
 		st := ap.Solve(in, seed)
 		elapsed := time.Since(t0)
+		cfg.Obs.Count("experiment_solves_total", 1)
 		if err := in.Check(st); err != nil {
 			return nil, fmt.Errorf("%s produced an invalid strategy: %w", ap.Name(), err)
 		}

@@ -36,6 +36,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+
+	"idde/internal/obs"
 )
 
 // Adapter connects a concrete game to the engine. Decisions are opaque
@@ -68,6 +70,20 @@ type Localized[D any] interface {
 	// slice is only read until the next Affected or Apply call, so
 	// adapters may reuse one buffer.
 	Affected(j int, d D) []int
+}
+
+// RoundMetrics is an optional Adapter extension for traced runs: when
+// the engine records a round event it asks the adapter for domain-level
+// scalars (e.g. the IDDE-U average rate or the Eq. 13 potential) to
+// attach alongside the engine's own round/updates/gain attributes. Only
+// called when Options.Obs has a tracer attached, so implementations may
+// be arbitrarily expensive without taxing production runs.
+type RoundMetrics interface {
+	// RoundMetrics pushes named per-round metrics through put. It is
+	// called from the engine's serialized section after the round's
+	// commit (or at convergence), so the adapter sees a quiescent
+	// profile.
+	RoundMetrics(put func(key string, v float64))
 }
 
 // Policy selects the update arbitration.
@@ -124,6 +140,14 @@ type Options struct {
 	// kicks in; 0 means DefaultParallelThreshold. Benches force either
 	// path by setting it to 1 or disabling Parallel.
 	ParallelThreshold int
+	// Obs receives the engine's telemetry: per-round trace events (when
+	// a tracer is attached), a round-size histogram, and the final
+	// Stats cross-wired into counters. nil disables all of it at the
+	// cost of one branch per round; the commit sequence and Stats are
+	// identical either way. Embedders that resolve a zero-value Options
+	// to defaults (core.Solve) inject the scope after resolution, so
+	// setting only Obs does not count as "explicitly configured".
+	Obs *obs.Scope
 	// FullScan forces the literal Algorithm 1 re-evaluation of every
 	// player each round even when the adapter is Localized. The commit
 	// sequence and the Rounds/Updates/Converged/Frozen stats are
@@ -273,7 +297,56 @@ func Run[D any](a Adapter[D], opt Options) Stats {
 		panic(fmt.Sprintf("game: unknown policy %d", int(opt.Policy)))
 	}
 	r.st.Evaluations = int(r.evals.Load())
+	publishStats(opt.Obs, r.st)
 	return r.st
+}
+
+// publishStats cross-wires the final Stats into the scope's registry.
+// Both the returned struct and the counters are written from the same
+// values in this one place, so the legacy fields and the metrics can
+// never drift.
+func publishStats(sc *obs.Scope, st Stats) {
+	if !sc.Enabled() {
+		return
+	}
+	sc.Count("game_runs_total", 1)
+	sc.Count("game_rounds_total", int64(st.Rounds))
+	sc.Count("game_updates_total", int64(st.Updates))
+	sc.Count("game_evaluations_total", int64(st.Evaluations))
+	if st.Converged {
+		sc.Count("game_converged_runs_total", 1)
+	}
+	sc.SetGauge("game_last_frozen_players", float64(st.Frozen))
+}
+
+// traceRound records one dynamics round: a histogram sample of how many
+// players were (re-)evaluated, and — when a tracer is attached — an
+// instant event carrying the round's engine state plus any adapter
+// RoundMetrics. Called from the serialized section of every loop driver
+// after the round's commit, so the attributes reflect the profile the
+// round produced; winner -1 marks a terminal (non-improving) round.
+// With a nil scope this is one branch and zero allocations.
+func (r *runner[D]) traceRound(winner int, gain float64, evaluated int) {
+	sc := r.opt.Obs
+	if sc == nil {
+		return
+	}
+	sc.Observe("game_round_evals", float64(evaluated))
+	if !sc.Tracing() {
+		return
+	}
+	args := map[string]any{
+		"round":   r.st.Rounds,
+		"updates": r.st.Updates,
+		"evals":   r.evals.Load(),
+		"dirty":   evaluated,
+		"winner":  winner,
+		"gain":    gain,
+	}
+	if m, ok := r.a.(RoundMetrics); ok {
+		m.RoundMetrics(func(key string, v float64) { args[key] = v })
+	}
+	sc.Instant("game", "round", args)
 }
 
 func (r *runner[D]) eligible(j int) bool {
@@ -410,11 +483,13 @@ func (r *runner[D]) winnerFullScan() {
 		if winner < 0 {
 			r.st.Converged = true
 			r.st.Frozen = r.countFrozen()
+			r.traceRound(-1, 0, r.n)
 			return
 		}
 		r.a.Apply(winner, r.props[winner].d)
 		r.moves[winner]++
 		r.st.Updates++
+		r.traceRound(winner, bestGain, r.n)
 	}
 	r.st.Frozen = r.countFrozen()
 }
@@ -478,7 +553,9 @@ func (r *runner[D]) winnerDirty(loc Localized[D]) {
 
 	for r.st.Updates < r.opt.MaxUpdates {
 		r.st.Rounds++
+		evaluated := len(r.pending)
 		if r.st.Rounds == 1 {
+			evaluated = n
 			r.scanAll()
 			for j := 0; j < n; j++ {
 				heapArr[j] = j
@@ -501,9 +578,11 @@ func (r *runner[D]) winnerDirty(loc Localized[D]) {
 		if !(r.props[winner].gain > r.opt.Epsilon) {
 			r.st.Converged = true
 			r.st.Frozen = r.countFrozen()
+			r.traceRound(-1, 0, evaluated)
 			return
 		}
 		d := r.props[winner].d
+		winnerGain := r.props[winner].gain
 		stamp++
 		r.pending = r.pending[:0]
 		r.pending = append(r.pending, winner)
@@ -517,6 +596,7 @@ func (r *runner[D]) winnerDirty(loc Localized[D]) {
 		r.a.Apply(winner, d)
 		r.moves[winner]++
 		r.st.Updates++
+		r.traceRound(winner, winnerGain, evaluated)
 	}
 	r.st.Frozen = r.countFrozen()
 }
@@ -527,12 +607,14 @@ func (r *runner[D]) roundRobinFullScan() {
 	for r.st.Updates < r.opt.MaxUpdates {
 		r.st.Rounds++
 		moved := false
+		evaluated := 0
 		for j := 0; j < r.n && r.st.Updates < r.opt.MaxUpdates; j++ {
 			if !r.eligible(j) {
 				continue
 			}
 			d, benefit, cur := r.a.Best(j)
 			r.evals.Add(1)
+			evaluated++
 			if benefit-cur > r.opt.Epsilon {
 				r.a.Apply(j, d)
 				r.moves[j]++
@@ -543,8 +625,10 @@ func (r *runner[D]) roundRobinFullScan() {
 		if !moved {
 			r.st.Converged = true
 			r.st.Frozen = r.countFrozen()
+			r.traceRound(-1, 0, evaluated)
 			return
 		}
+		r.traceRound(-1, 0, evaluated)
 	}
 	r.st.Frozen = r.countFrozen()
 }
@@ -561,12 +645,14 @@ func (r *runner[D]) roundRobinDirty(loc Localized[D]) {
 	for r.st.Updates < r.opt.MaxUpdates {
 		r.st.Rounds++
 		moved := false
+		evaluated := 0
 		for j := 0; j < r.n && r.st.Updates < r.opt.MaxUpdates; j++ {
 			if !r.eligible(j) || !dirty[j] {
 				continue
 			}
 			d, benefit, cur := r.a.Best(j)
 			r.evals.Add(1)
+			evaluated++
 			if benefit-cur > r.opt.Epsilon {
 				for _, q := range loc.Affected(j, d) {
 					if q >= 0 && q < r.n {
@@ -585,8 +671,10 @@ func (r *runner[D]) roundRobinDirty(loc Localized[D]) {
 		if !moved {
 			r.st.Converged = true
 			r.st.Frozen = r.countFrozen()
+			r.traceRound(-1, 0, evaluated)
 			return
 		}
+		r.traceRound(-1, 0, evaluated)
 	}
 	r.st.Frozen = r.countFrozen()
 }

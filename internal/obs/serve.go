@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// expvarOnce guards the process-global expvar publication: expvar.Publish
+// panics on duplicate names, and tests (or a CLI that restarts its
+// endpoint) may build several scopes in one process. The last published
+// scope wins — the Func closure reads through a mutex-guarded pointer.
+var (
+	expvarMu    sync.Mutex
+	expvarScope *Scope
+	expvarInit  sync.Once
+)
+
+// publishExpvar exposes the scope's registry snapshot under the
+// "idde_metrics" expvar key (served at /debug/vars alongside the
+// runtime's memstats and cmdline).
+func publishExpvar(s *Scope) {
+	expvarMu.Lock()
+	expvarScope = s
+	expvarMu.Unlock()
+	expvarInit.Do(func() {
+		expvar.Publish("idde_metrics", expvar.Func(func() any {
+			expvarMu.Lock()
+			defer expvarMu.Unlock()
+			return expvarScope.Registry().Snapshot()
+		}))
+	})
+}
+
+// Handler returns the live-telemetry HTTP mux for a scope:
+//
+//	/metrics      Prometheus text dump of the scope's registry
+//	/debug/vars   expvar (incl. the registry under "idde_metrics")
+//	/debug/pprof  the full net/http/pprof suite
+func Handler(s *Scope) http.Handler {
+	publishExpvar(s)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = s.Registry().WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running live-telemetry endpoint.
+type Server struct {
+	srv  *http.Server
+	addr string
+}
+
+// Addr reports the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.addr }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve starts the live-telemetry endpoint on addr (e.g. ":6060" or
+// "127.0.0.1:0") and serves it in the background. The long-running CLIs
+// wire this behind an opt-in flag; nothing is listened on by default.
+func Serve(addr string, s *Scope) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(s)}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{srv: srv, addr: ln.Addr().String()}, nil
+}

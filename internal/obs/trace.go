@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event phase markers, following the Chrome trace_event convention.
+const (
+	PhaseBegin   = "B" // span start
+	PhaseEnd     = "E" // span end
+	PhaseInstant = "i" // point event
+)
+
+// Event is one recorded phase event. Tick is a logical timestamp — the
+// tracer increments it once per recorded event — so traces are
+// byte-reproducible across runs and machines; wall clock never appears.
+// Args carries the event's attributes; encoding/json marshals the map
+// with sorted keys, keeping the serialized forms deterministic too.
+type Event struct {
+	Tick int64          `json:"tick"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat"`
+	Name string         `json:"name"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Tracer records phase events under a logical clock. Safe for
+// concurrent use; the engines only emit from their serialized sections,
+// which is what makes the tick assignment deterministic.
+type Tracer struct {
+	mu     sync.Mutex
+	tick   int64
+	events []Event
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+func (t *Tracer) emit(ph, cat, name string, args map[string]any) {
+	t.mu.Lock()
+	t.events = append(t.events, Event{Tick: t.tick, Ph: ph, Cat: cat, Name: name, Args: args})
+	t.tick++
+	t.mu.Unlock()
+}
+
+// Begin opens a span identified by (cat, name). args may be nil.
+func (t *Tracer) Begin(cat, name string, args map[string]any) {
+	t.emit(PhaseBegin, cat, name, args)
+}
+
+// End closes the span identified by (cat, name).
+func (t *Tracer) End(cat, name string) {
+	t.emit(PhaseEnd, cat, name, nil)
+}
+
+// Instant records a point event. args may be nil.
+func (t *Tracer) Instant(cat, name string, args map[string]any) {
+	t.emit(PhaseInstant, cat, name, args)
+}
+
+// Len reports the number of recorded events.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the recorded events in tick order.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// WriteJSONL writes one JSON object per event, in tick order. For a
+// fixed seed the output is byte-identical across runs (see Event).
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	for _, ev := range t.Events() {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is the trace_event JSON shape chrome://tracing and
+// Perfetto load. Ts carries the logical tick (the viewer treats it as
+// microseconds; only the ordering is meaningful here).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the whole trace in Chrome trace_event format
+// ({"traceEvents": [...]}), loadable in chrome://tracing or Perfetto.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	out := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: make([]chromeEvent, 0, len(events)), DisplayTimeUnit: "ms"}
+	for _, ev := range events {
+		ce := chromeEvent{Name: ev.Name, Cat: ev.Cat, Ph: ev.Ph, Ts: ev.Tick, Pid: 1, Tid: 1, Args: ev.Args}
+		if ev.Ph == PhaseInstant {
+			ce.S = "t" // thread-scoped instant: renders as a tick mark
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// TimelineCSV renders the instant events matching (cat, name) as a CSV
+// table: one row per event, one column per attribute named in cols
+// (missing attributes render empty). It is the bridge from a recorded
+// trace to the convergence-timeline artifacts under results/.
+func (t *Tracer) TimelineCSV(cat, name string, cols []string) string {
+	out := ""
+	for i, c := range cols {
+		if i > 0 {
+			out += ","
+		}
+		out += c
+	}
+	out += "\n"
+	for _, ev := range t.Events() {
+		if ev.Ph != PhaseInstant || ev.Cat != cat || ev.Name != name {
+			continue
+		}
+		for i, c := range cols {
+			if i > 0 {
+				out += ","
+			}
+			if v, ok := ev.Args[c]; ok {
+				out += formatAttr(v)
+			}
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// formatAttr renders one attribute value the way the CSV and markdown
+// timelines expect: integers without a decimal point, floats with %g.
+func formatAttr(v any) string {
+	switch x := v.(type) {
+	case float64:
+		if x == float64(int64(x)) && x < 1e15 && x > -1e15 {
+			return fmt.Sprintf("%d", int64(x))
+		}
+		return fmt.Sprintf("%g", x)
+	case int:
+		return fmt.Sprintf("%d", x)
+	case int64:
+		return fmt.Sprintf("%d", x)
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"math"
 	"runtime"
 	"sync"
+
+	"idde/internal/obs"
 )
 
 // Candidate identifies a delivery decision σ_{i,k}: put item Item on
@@ -77,6 +79,14 @@ type Options struct {
 	// Result.Evaluations drops (the same argument as the game engine's
 	// dirty-set scheduler).
 	ItemLocalGains bool
+	// Obs receives the engine's telemetry: per-commit trace events
+	// (when a tracer is attached), a commit-gain histogram, and the
+	// final Result cross-wired into counters. nil disables all of it;
+	// the committed sequence and Result are identical either way.
+	// Embedders that resolve a zero-value Options to defaults
+	// (core.Solve) inject the scope after resolution, mirroring
+	// game.Options.Obs.
+	Obs *obs.Scope
 	// Set marks the Options as explicitly configured, shielding an
 	// intentionally all-zero configuration from default replacement by
 	// embedders (mirrors game.Options.Set).
@@ -104,6 +114,13 @@ func DefaultOptions() Options {
 // sequence is independent of the resulting scan order and identical to
 // the historical tombstone loop and to LazyGreedy.
 func Greedy(cands []Candidate, o Oracle) Result {
+	return GreedyOpt(cands, o, Options{})
+}
+
+// GreedyOpt is Greedy with an Options surface; the naive engine ignores
+// every knob except Obs (the re-scan loop is inherently sequential),
+// which lets the reference path emit the same telemetry as LazyGreedy.
+func GreedyOpt(cands []Candidate, o Oracle, opt Options) Result {
 	res := Result{Chosen: make([]Candidate, 0, len(cands))}
 	remaining := append([]Candidate(nil), cands...)
 	orig := make([]int, len(cands))
@@ -133,11 +150,14 @@ func Greedy(cands []Candidate, o Oracle) Result {
 		}
 		remaining, orig = remaining[:w], orig[:w]
 		if bestIdx < 0 {
+			publishResult(opt.Obs, &res)
 			return res
 		}
 		c := remaining[bestIdx]
-		res.TotalGain += o.Commit(c)
+		realized := o.Commit(c)
+		res.TotalGain += realized
 		res.Chosen = append(res.Chosen, c)
+		traceCommit(opt.Obs, o, &res, c, realized, bestRatio)
 		last := len(remaining) - 1
 		remaining[bestIdx], orig[bestIdx] = remaining[last], orig[last]
 		remaining, orig = remaining[:last], orig[:last]
@@ -202,14 +222,55 @@ func LazyGreedyOpt(cands []Candidate, o Oracle, opt Options) Result {
 			continue
 		}
 		pq.popTop()
-		res.TotalGain += o.Commit(top.c)
+		realized := o.Commit(top.c)
+		res.TotalGain += realized
 		res.Chosen = append(res.Chosen, top.c)
+		traceCommit(opt.Obs, o, &res, top.c, realized, top.ratio)
 		round++
 		if itemRound != nil {
 			itemRound[top.c.Item]++
 		}
 	}
+	publishResult(opt.Obs, &res)
 	return res
+}
+
+// publishResult cross-wires the final Result into the scope's registry;
+// the struct fields and the counters are written from the same values,
+// so they can never drift.
+func publishResult(sc *obs.Scope, res *Result) {
+	if !sc.Enabled() {
+		return
+	}
+	sc.Count("placement_runs_total", 1)
+	sc.Count("placement_commits_total", int64(len(res.Chosen)))
+	sc.Count("placement_evaluations_total", int64(res.Evaluations))
+	sc.SetGauge("placement_last_total_gain", res.TotalGain)
+}
+
+// traceCommit records one committed delivery decision: a histogram
+// sample of the realized gain and — when a tracer is attached — an
+// instant event with the CELF iteration state. Called from the
+// serialized commit section of both engines; with a nil scope this is
+// one branch and zero allocations.
+func traceCommit(sc *obs.Scope, o Oracle, res *Result, c Candidate, realized, ratio float64) {
+	if sc == nil {
+		return
+	}
+	sc.Observe("placement_commit_gain", realized)
+	if !sc.Tracing() {
+		return
+	}
+	sc.Instant("placement", "commit", map[string]any{
+		"iter":       len(res.Chosen) - 1,
+		"server":     c.Server,
+		"item":       c.Item,
+		"gain":       realized,
+		"ratio":      ratio,
+		"cost":       o.Cost(c),
+		"total_gain": res.TotalGain,
+		"evals":      res.Evaluations,
+	})
 }
 
 // seedHeap evaluates every candidate's initial gain and assembles the
