@@ -19,12 +19,14 @@
 //	iddebench -perfjson BENCH_phase1.json            # regenerate the Phase 1 perf baseline
 //	iddebench -perf2json BENCH_phase2.json           # regenerate the Phase 2 perf baseline
 //	iddebench -memjson BENCH_mem.json                # regenerate the memory/allocation baseline
+//	iddebench -servejson BENCH_serve.json            # regenerate the serving-soak baseline
 //	iddebench -perfjson out.json -perftime 250ms     # quick CI smoke variant
 //	iddebench -fig 4 -cpuprofile cpu.pb.gz           # pprof any run
 //	iddebench -fig 0 -reps 50 -obs 127.0.0.1:6060    # live pprof/expvar//metrics while it runs
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +41,8 @@ import (
 	"idde/internal/obs"
 	"idde/internal/perfbench"
 	"idde/internal/rng"
+	"idde/internal/serve"
+	"idde/internal/units"
 	"idde/internal/viz"
 )
 
@@ -66,6 +70,10 @@ func realMain() error {
 		perfTime  = flag.Duration("perftime", 2*time.Second, "per-case time budget for -perfjson/-perf2json/-memjson")
 		perfMaxM  = flag.Int("perfmaxm", 0, "skip perf scales with more than this many users (0 = full ladder; CI smoke uses a low cap)")
 		memJSON   = flag.String("memjson", "", "write the memory/allocation baseline to this file and exit (skips the figures; nonzero exit on hot-path alloc regressions)")
+		serveJSON = flag.String("servejson", "", "write the serving-soak baseline (sustained RPS + healthy/faulted/recovered tail latency under a chaos outage) to this file and exit")
+		serveRPS  = flag.Int("serverps", 500, "sustained virtual RPS for -servejson")
+		serveDur  = flag.Float64("servedur", 30, "soak duration in virtual seconds for -servejson")
+		serveMaxM = flag.Int("servemaxm", 0, "skip serve-soak scales with more than this many users (0 = full ladder; CI smoke uses a low cap)")
 		memMaxN   = flag.Int("memmaxn", 0, "skip aggregate-row memory scales with more than this many servers (0 = full ladder)")
 		memMaxM   = flag.Int("memmaxm", 0, "skip solve-allocation memory scales with more than this many users (0 = full ladder)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -108,6 +116,8 @@ func realMain() error {
 		err = runPerf2(*perf2JSON, *perfTime, *seed, *perfMaxM)
 	} else if *memJSON != "" {
 		err = runMem(*memJSON, *perfTime, *seed, *memMaxN, *memMaxM)
+	} else if *serveJSON != "" {
+		err = runServe(*serveJSON, *seed, *serveRPS, *serveDur, *serveMaxM)
 	} else {
 		err = run(*fig, *reps, *seed, *ipBudget, *noIP, *outDir, *plot, scope)
 	}
@@ -196,6 +206,39 @@ func runPerf2(path string, budget time.Duration, seed uint64, maxM int) error {
 		}
 	}
 	fmt.Printf("wrote %s (%d records)\n", path, len(rep.Records))
+	return nil
+}
+
+// runServe regenerates the tracked serving-soak baseline: the chaos
+// acceptance scenario at sustained RPS across the serve scale ladder.
+func runServe(path string, seed uint64, rps int, dur float64, maxM int) error {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	rep, err := perfbench.RunServe(context.Background(), perfbench.ServeConfig{
+		Seed:     seed,
+		RPS:      rps,
+		Duration: units.Seconds(dur),
+		MaxM:     maxM,
+	}, logf)
+	if err != nil {
+		return err
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	for _, c := range rep.Cases {
+		if f := c.Soak.Phase(serve.PhaseFaulted); f != nil {
+			h := c.Soak.Phase(serve.PhaseHealthy)
+			fmt.Printf("serve n=%d m=%d: healthy p99 %.2fms, faulted p99 %.2fms, heal %d rounds\n",
+				c.Params.N, c.Params.M, h.P99Ms, f.P99Ms, c.Soak.MaxDegradedStreak)
+		}
+	}
+	fmt.Printf("wrote %s (%d cases)\n", path, len(rep.Cases))
 	return nil
 }
 

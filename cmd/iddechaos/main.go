@@ -12,9 +12,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"idde/internal/chaos"
 	"idde/internal/core"
@@ -99,12 +103,19 @@ func main() {
 	gen := func(i int, s *rng.Stream) chaos.Campaign {
 		return chaos.Correlated(in, gc, s)
 	}
-	sw, err := chaos.MonteCarlo(in, st, gen, chaos.SweepConfig{
+	// Ctrl-C truncates the sweep to the campaigns already replayed
+	// instead of discarding the run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	sw, err := chaos.MonteCarloCtx(ctx, in, st, gen, chaos.SweepConfig{
 		Config:    chaos.Config{Seed: *seed, Spread: units.Seconds(*spread), Obs: scope},
 		Campaigns: *campaigns,
 	})
 	if err != nil {
-		fatal(err)
+		if !errors.Is(err, context.Canceled) || sw == nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "iddechaos: interrupted — reporting the %d campaigns that completed\n", sw.Campaigns)
 	}
 
 	if *jsonOut {

@@ -54,6 +54,7 @@ func realMain() error {
 		seed      = flag.Uint64("seed", 2022, "instance seed")
 		potential = flag.Bool("potential", true, "evaluate the Eq. 13 potential every Phase 1 round (O(M²) per round; disable for big instances)")
 		outDir    = flag.String("out", "", "directory for trace + timeline artifacts (optional)")
+		stream    = flag.String("stream", "", "stream the trace to this JSONL file incrementally instead of buffering it in memory (for M>=1e5 runs; disables the post-run tables and -out trace artifacts)")
 		serveAddr = flag.String("serve", "", "serve live pprof/expvar//metrics on this address while running (optional)")
 		maxRows   = flag.Int("rows", 12, "max rows per printed markdown table (head+tail elision; CSVs are always complete)")
 	)
@@ -75,12 +76,35 @@ func realMain() error {
 		fmt.Fprintf(os.Stderr, "live telemetry on http://%s (/metrics, /debug/vars, /debug/pprof/)\n", srv.Addr())
 	}
 
+	tr := sc.Tracer()
+	var streamFile *os.File
+	if *stream != "" {
+		f, err := os.Create(*stream)
+		if err != nil {
+			return err
+		}
+		streamFile = f
+		if err := tr.StreamTo(f); err != nil {
+			f.Close()
+			return err
+		}
+	}
+
 	opt := core.DefaultOptions()
 	opt.Obs = sc
 	opt.TracePotential = *potential
 	res := core.Solve(in, opt)
 
-	tr := sc.Tracer()
+	if streamFile != nil {
+		if err := tr.Err(); err != nil {
+			streamFile.Close()
+			return fmt.Errorf("streaming trace: %w", err)
+		}
+		if err := streamFile.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "streamed %d events to %s\n", tr.Len(), *stream)
+	}
 	if tr.Len() == 0 {
 		return fmt.Errorf("solver emitted no trace events (%v, seed %d)", p, *seed)
 	}
@@ -93,13 +117,17 @@ func realMain() error {
 		res.Replicas, res.GainEvaluations, float64(res.LatencyReduction))
 	fmt.Printf("trace: %d events\n\n", tr.Len())
 
-	fmt.Println("## Phase 1 convergence timeline")
-	fmt.Println()
-	fmt.Print(markdownTimeline(tr, "game", "round", phase1Cols, *maxRows))
-	fmt.Println()
-	fmt.Println("## Phase 2 commit timeline")
-	fmt.Println()
-	fmt.Print(markdownTimeline(tr, "placement", "commit", phase2Cols, *maxRows))
+	if streamFile == nil {
+		fmt.Println("## Phase 1 convergence timeline")
+		fmt.Println()
+		fmt.Print(markdownTimeline(tr, "game", "round", phase1Cols, *maxRows))
+		fmt.Println()
+		fmt.Println("## Phase 2 commit timeline")
+		fmt.Println()
+		fmt.Print(markdownTimeline(tr, "placement", "commit", phase2Cols, *maxRows))
+	} else {
+		fmt.Println("(timelines unavailable in streaming mode — the trace was spilled, not retained)")
+	}
 
 	if *outDir == "" {
 		return nil
@@ -107,24 +135,30 @@ func realMain() error {
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
 	}
-	if err := writeWith(filepath.Join(*outDir, "trace.jsonl"), tr.WriteJSONL); err != nil {
-		return err
-	}
-	if err := writeWith(filepath.Join(*outDir, "trace.chrome.json"), tr.WriteChromeTrace); err != nil {
-		return err
-	}
-	if err := os.WriteFile(filepath.Join(*outDir, "phase1_timeline.csv"),
-		[]byte(tr.TimelineCSV("game", "round", phase1Cols)), 0o644); err != nil {
-		return err
-	}
-	if err := os.WriteFile(filepath.Join(*outDir, "phase2_timeline.csv"),
-		[]byte(tr.TimelineCSV("placement", "commit", phase2Cols)), 0o644); err != nil {
-		return err
+	if streamFile == nil {
+		if err := writeWith(filepath.Join(*outDir, "trace.jsonl"), tr.WriteJSONL); err != nil {
+			return err
+		}
+		if err := writeWith(filepath.Join(*outDir, "trace.chrome.json"), tr.WriteChromeTrace); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(*outDir, "phase1_timeline.csv"),
+			[]byte(tr.TimelineCSV("game", "round", phase1Cols)), 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(*outDir, "phase2_timeline.csv"),
+			[]byte(tr.TimelineCSV("placement", "commit", phase2Cols)), 0o644); err != nil {
+			return err
+		}
 	}
 	if err := writeWith(filepath.Join(*outDir, "metrics.txt"), sc.Registry().WritePrometheus); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote trace.jsonl, trace.chrome.json, phase1_timeline.csv, phase2_timeline.csv, metrics.txt to %s\n", *outDir)
+	if streamFile == nil {
+		fmt.Fprintf(os.Stderr, "wrote trace.jsonl, trace.chrome.json, phase1_timeline.csv, phase2_timeline.csv, metrics.txt to %s\n", *outDir)
+	} else {
+		fmt.Fprintf(os.Stderr, "wrote metrics.txt to %s (trace streamed separately)\n", *outDir)
+	}
 	return nil
 }
 

@@ -125,6 +125,21 @@ func (c *Campaign) Validate(in *model.Instance) error {
 	return nil
 }
 
+// Boundaries returns the sorted, deduplicated times at which the
+// campaign's fault state changes, always starting at 0. The serving data
+// plane uses them to rebuild its fault view only when something actually
+// changed, and to count "epochs to heal" against a recovery budget.
+func (c *Campaign) Boundaries() []units.Seconds { return c.epochs() }
+
+// DegradationAt assembles the instantaneous fault state at time t — the
+// union of failed servers and cut links across active events, and the
+// most severe active brownout — as a repair.Degradation ready for
+// repair.Degrade. Exported for the live serving loop, which consumes the
+// campaign as a fault timeline rather than replaying it epoch by epoch.
+func (c *Campaign) DegradationAt(t units.Seconds) repair.Degradation {
+	return c.degradationAt(t)
+}
+
 // epochs returns the sorted, deduplicated boundary times at which the
 // campaign's fault state changes, always starting at 0.
 func (c *Campaign) epochs() []units.Seconds {

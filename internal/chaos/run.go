@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 
 	"idde/internal/des"
@@ -112,6 +113,15 @@ func safeRatio(a, b float64) float64 {
 // re-admit), and measures the workload on the DES under the campaign's
 // fault model.
 func Run(in *model.Instance, st model.Strategy, c Campaign, cfg Config) (*CampaignReport, error) {
+	return RunCtx(context.Background(), in, st, c, cfg)
+}
+
+// RunCtx is Run under a context. Cancellation is honored at epoch
+// boundaries: the report returned alongside ctx.Err() covers every
+// epoch that completed (its totals and worst-epoch aggregates are
+// consistent with the epochs it holds), and the campaign spawns no
+// goroutines, so nothing is left running.
+func RunCtx(ctx context.Context, in *model.Instance, st model.Strategy, c Campaign, cfg Config) (*CampaignReport, error) {
 	if err := c.Validate(in); err != nil {
 		return nil, err
 	}
@@ -130,6 +140,10 @@ func Run(in *model.Instance, st model.Strategy, c Campaign, cfg Config) (*Campai
 
 	prevIn, prevSt := in, st
 	for ei, t := range c.epochs() {
+		if err := ctx.Err(); err != nil {
+			publishCampaign(sc, rep)
+			return rep, err
+		}
 		if sc.Tracing() {
 			sc.Begin("chaos", "epoch", map[string]any{"index": ei, "start_s": float64(t)})
 		}
@@ -283,19 +297,39 @@ type SweepReport struct {
 // split of the sweep seed, so the whole sweep is reproducible and any
 // single campaign can be re-run in isolation with its reported seed.
 func MonteCarlo(in *model.Instance, st model.Strategy, gen Generator, cfg SweepConfig) (*SweepReport, error) {
+	return MonteCarloCtx(context.Background(), in, st, gen, cfg)
+}
+
+// MonteCarloCtx is MonteCarlo under a context. Cancellation is honored
+// between campaigns (a campaign mid-replay finishes its current epoch
+// and stops): the sweep returned alongside ctx.Err() aggregates only
+// fully replayed campaigns, with Campaigns set to that count — a
+// truncated but statistically clean sweep.
+func MonteCarloCtx(ctx context.Context, in *model.Instance, st model.Strategy, gen Generator, cfg SweepConfig) (*SweepReport, error) {
 	if cfg.Campaigns <= 0 {
 		cfg.Campaigns = 20
 	}
 	root := rng.New(cfg.Seed)
 	sw := &SweepReport{Campaigns: cfg.Campaigns}
 	var stranded, infl, drop, retries, failovers, moves, lost, replaced stats.Acc
+	cancelled := false
 	for i := 0; i < cfg.Campaigns; i++ {
+		if ctx.Err() != nil {
+			cancelled = true
+			break
+		}
 		cs := root.SplitN("campaign", i)
 		c := gen(i, cs)
 		runCfg := cfg.Config
 		runCfg.Seed = cs.Split("run").Seed()
-		cr, err := Run(in, st, c, runCfg)
+		cr, err := RunCtx(ctx, in, st, c, runCfg)
 		if err != nil {
+			if ctx.Err() != nil {
+				// The partial campaign is dropped: a sweep aggregates
+				// whole campaigns or nothing.
+				cancelled = true
+				break
+			}
 			return nil, fmt.Errorf("chaos: campaign %d (%s): %w", i, c.Name, err)
 		}
 		sw.Reports = append(sw.Reports, cr)
@@ -316,5 +350,9 @@ func MonteCarlo(in *model.Instance, st model.Strategy, gen Generator, cfg SweepC
 	sw.Moves = moves.Summary()
 	sw.ReplicasLost = lost.Summary()
 	sw.ReplicasReplaced = replaced.Summary()
+	if cancelled {
+		sw.Campaigns = len(sw.Reports)
+		return sw, ctx.Err()
+	}
 	return sw, nil
 }

@@ -1,0 +1,129 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"idde/internal/baseline"
+	"idde/internal/model"
+)
+
+// gateApproach wraps a real approach but signals when the worker pool
+// starts its first solve and slows every solve slightly, giving the
+// test a deterministic window to cancel mid-set.
+type gateApproach struct {
+	inner   baseline.Approach
+	started chan struct{}
+	once    sync.Once
+}
+
+func (a *gateApproach) Name() string { return a.inner.Name() }
+
+func (a *gateApproach) Solve(in *model.Instance, seed uint64) model.Strategy {
+	a.once.Do(func() { close(a.started) })
+	time.Sleep(time.Millisecond)
+	return a.inner.Solve(in, seed)
+}
+
+// ctxTestSet is a tiny single-x set so each repetition is cheap and the
+// partial aggregation is easy to reason about.
+func ctxTestSet() Set {
+	return Set{ID: 1, Vary: "N", Values: []float64{8}, Base: Params{M: 40, K: 3, Density: 1.0}}
+}
+
+// TestRunSetCtxCancelPartialReport cancels a long set mid-flight and
+// checks the three contract points: the context error is surfaced, the
+// result is a partial-but-consistent aggregation (fewer than Reps
+// observations, identical counts across metrics), and every pool
+// goroutine exits (counter check — goleak without the dependency).
+func TestRunSetCtxCancelPartialReport(t *testing.T) {
+	ap := &gateApproach{inner: baseline.NewCDP(), started: make(chan struct{})}
+	cfg := Config{Reps: 400, Seed: 7, Approaches: []baseline.Approach{ap}, Workers: 4}
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-ap.started
+		cancel()
+	}()
+	sr, err := RunSetCtx(ctx, ctxTestSet(), cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if sr == nil {
+		t.Fatal("cancelled run returned no partial result")
+	}
+	m, ok := sr.Points[0].ByApproach[ap.Name()]
+	if !ok {
+		t.Fatalf("partial result missing approach %q", ap.Name())
+	}
+	if m.Rate.N >= cfg.Reps {
+		t.Errorf("partial result aggregated %d reps, want < %d", m.Rate.N, cfg.Reps)
+	}
+	if m.Rate.N != m.LatencyMs.N || m.Rate.N != m.TimeSec.N {
+		t.Errorf("inconsistent partial counts: rate=%d latency=%d time=%d",
+			m.Rate.N, m.LatencyMs.N, m.TimeSec.N)
+	}
+
+	// Pool teardown: the goroutine count returns to (about) the pre-call
+	// level. Allow slack for runtime background goroutines, and retry
+	// because exits are asynchronous after RunSetCtx returns.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after cancellation", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunSetCtxPreCancelled must not run a single repetition.
+func TestRunSetCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ap := &gateApproach{inner: baseline.NewCDP(), started: make(chan struct{})}
+	cfg := Config{Reps: 10, Seed: 7, Approaches: []baseline.Approach{ap}, Workers: 2}
+	sr, err := RunSetCtx(ctx, ctxTestSet(), cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if sr == nil {
+		t.Fatal("no partial result")
+	}
+	if n := sr.Points[0].ByApproach[ap.Name()].Rate.N; n != 0 {
+		t.Errorf("pre-cancelled run still aggregated %d reps", n)
+	}
+	select {
+	case <-ap.started:
+		t.Error("pre-cancelled run invoked an approach solve")
+	default:
+	}
+}
+
+// TestRunSetCtxBackgroundEqualsRunSet pins the refactor: the plain
+// RunSet path is exactly RunSetCtx(Background) and stays deterministic.
+// One worker keeps the accumulation order fixed so the summaries
+// (including wall-clock-free metrics) compare exactly.
+func TestRunSetCtxBackgroundEqualsRunSet(t *testing.T) {
+	cfg := Config{Reps: 3, Seed: 11, Approaches: []baseline.Approach{baseline.NewCDP()}, Workers: 1}
+	a, err := RunSet(ctxTestSet(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSetCtx(context.Background(), ctxTestSet(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma := a.Points[0].ByApproach["CDP"]
+	mb := b.Points[0].ByApproach["CDP"]
+	if ma.Rate != mb.Rate || ma.LatencyMs != mb.LatencyMs {
+		t.Errorf("RunSet and RunSetCtx(Background) disagree: %+v vs %+v", ma, mb)
+	}
+}

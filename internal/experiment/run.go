@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -97,6 +98,15 @@ type measurement struct {
 
 // RunSet executes one Table 2 set and aggregates the three metrics.
 func RunSet(set Set, cfg Config) (*SetResult, error) {
+	return RunSetCtx(context.Background(), set, cfg)
+}
+
+// RunSetCtx is RunSet under a context. Cancellation stops the worker
+// pool cleanly — no task is abandoned mid-send and every goroutine
+// exits before the call returns — and yields a partial SetResult
+// aggregating the repetitions that finished, alongside ctx.Err().
+// Summaries in a partial result cover fewer than cfg.Reps repetitions.
+func RunSetCtx(ctx context.Context, set Set, cfg Config) (*SetResult, error) {
 	if cfg.Reps <= 0 {
 		return nil, fmt.Errorf("experiment: Reps must be positive")
 	}
@@ -129,18 +139,28 @@ func RunSet(set Set, cfg Config) (*SetResult, error) {
 		go func() {
 			defer wg.Done()
 			for tk := range tasks {
+				// Drain without solving once cancelled: the producer
+				// stops feeding, but tasks already queued must still be
+				// consumed so nobody blocks on a send.
+				if ctx.Err() != nil {
+					continue
+				}
 				ms, err := runRep(set, cfg, tk.xi, tk.rep)
 				results <- taskResult{xi: tk.xi, ms: ms, err: err}
 			}
 		}()
 	}
 	go func() {
+		defer close(tasks)
 		for xi := range set.Values {
 			for rep := 0; rep < cfg.Reps; rep++ {
-				tasks <- task{xi: xi, rep: rep}
+				select {
+				case tasks <- task{xi: xi, rep: rep}:
+				case <-ctx.Done():
+					return
+				}
 			}
 		}
-		close(tasks)
 	}()
 	go func() {
 		wg.Wait()
@@ -171,8 +191,10 @@ func RunSet(set Set, cfg Config) (*SetResult, error) {
 			a.tim.Add(m.timeSec)
 		}
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	// results is closed, so every worker has exited and the producer is
+	// gone: nothing outlives this call even when cancelled mid-set.
+	if firstErr == nil {
+		firstErr = ctx.Err()
 	}
 
 	sr := &SetResult{Set: set, Config: cfg, Points: make([]Point, len(set.Values))}
@@ -188,6 +210,14 @@ func RunSet(set Set, cfg Config) (*SetResult, error) {
 		sr.Points[xi] = pt
 	}
 	sr.Elapsed = time.Since(start)
+	if firstErr != nil {
+		if ctx.Err() != nil {
+			// Partial but internally consistent: return the aggregation
+			// of everything that finished, flagged by the context error.
+			return sr, ctx.Err()
+		}
+		return nil, firstErr
+	}
 	return sr, nil
 }
 
@@ -222,10 +252,21 @@ func runRep(set Set, cfg Config, xi, rep int) ([]measurement, error) {
 
 // RunAll executes every Table 2 set.
 func RunAll(cfg Config) ([]*SetResult, error) {
+	return RunAllCtx(context.Background(), cfg)
+}
+
+// RunAllCtx is RunAll under a context. On cancellation it returns the
+// sets completed so far — the cancelled set included, partially
+// aggregated — together with ctx.Err().
+func RunAllCtx(ctx context.Context, cfg Config) ([]*SetResult, error) {
 	var out []*SetResult
 	for _, set := range Sets() {
-		sr, err := RunSet(set, cfg)
+		sr, err := RunSetCtx(ctx, set, cfg)
 		if err != nil {
+			if ctx.Err() != nil && sr != nil {
+				out = append(out, sr)
+				return out, ctx.Err()
+			}
 			return nil, err
 		}
 		out = append(out, sr)

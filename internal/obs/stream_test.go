@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// record plays the same deterministic event sequence into a tracer.
+func record(tr *Tracer) {
+	for i := 0; i < 50; i++ {
+		tr.Begin("game", "round", map[string]any{"round": i})
+		tr.Instant("game", "update", map[string]any{"round": i, "gain": float64(i) * 0.5})
+		tr.End("game", "round")
+	}
+}
+
+// TestStreamToByteIdentity is the streaming contract: the bytes spilled
+// live must equal a post-run WriteJSONL of the same sequence.
+func TestStreamToByteIdentity(t *testing.T) {
+	buffered := NewTracer()
+	record(buffered)
+	var want bytes.Buffer
+	if err := buffered.WriteJSONL(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	streamed := NewTracer()
+	var got bytes.Buffer
+	if err := streamed.StreamTo(&got); err != nil {
+		t.Fatal(err)
+	}
+	record(streamed)
+	if err := streamed.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("streamed JSONL differs from buffered WriteJSONL (%d vs %d bytes)", got.Len(), want.Len())
+	}
+	if streamed.Len() != buffered.Len() {
+		t.Fatalf("streamed Len = %d, buffered Len = %d", streamed.Len(), buffered.Len())
+	}
+	if n := len(streamed.Events()); n != 0 {
+		t.Fatalf("streaming tracer retained %d events in memory", n)
+	}
+}
+
+// TestStreamToMidwayFlush attaches the sink after some events are
+// already buffered: the flush plus the live tail must still be
+// byte-identical to the fully buffered run.
+func TestStreamToMidwayFlush(t *testing.T) {
+	buffered := NewTracer()
+	record(buffered)
+	var want bytes.Buffer
+	if err := buffered.WriteJSONL(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := NewTracer()
+	for i := 0; i < 25; i++ {
+		tr.Begin("game", "round", map[string]any{"round": i})
+		tr.Instant("game", "update", map[string]any{"round": i, "gain": float64(i) * 0.5})
+		tr.End("game", "round")
+	}
+	var got bytes.Buffer
+	if err := tr.StreamTo(&got); err != nil {
+		t.Fatal(err)
+	}
+	for i := 25; i < 50; i++ {
+		tr.Begin("game", "round", map[string]any{"round": i})
+		tr.Instant("game", "update", map[string]any{"round": i, "gain": float64(i) * 0.5})
+		tr.End("game", "round")
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatal("midway-attached stream differs from buffered run")
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n++
+	if w.n > 2 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestStreamToDeferredError(t *testing.T) {
+	tr := NewTracer()
+	if err := tr.StreamTo(&failWriter{}); err != nil {
+		t.Fatal(err)
+	}
+	record(tr)
+	if tr.Err() == nil {
+		t.Fatal("write failure not surfaced through Err")
+	}
+	if tr.Len() != 150 {
+		t.Fatalf("Len = %d after failed stream, want 150 (ticks keep advancing)", tr.Len())
+	}
+}

@@ -30,10 +30,18 @@ type Event struct {
 // Tracer records phase events under a logical clock. Safe for
 // concurrent use; the engines only emit from their serialized sections,
 // which is what makes the tick assignment deterministic.
+//
+// By default events buffer in memory for post-run rendering (JSONL,
+// Chrome trace, timeline CSVs). StreamTo switches the tracer to
+// pass-through mode: each event spills to the sink as a JSONL line the
+// moment it is recorded, and nothing is retained — the mode that makes
+// M≥10⁵ traces affordable.
 type Tracer struct {
-	mu     sync.Mutex
-	tick   int64
-	events []Event
+	mu        sync.Mutex
+	tick      int64
+	events    []Event
+	stream    io.Writer
+	streamErr error
 }
 
 // NewTracer returns an empty tracer.
@@ -41,9 +49,55 @@ func NewTracer() *Tracer { return &Tracer{} }
 
 func (t *Tracer) emit(ph, cat, name string, args map[string]any) {
 	t.mu.Lock()
-	t.events = append(t.events, Event{Tick: t.tick, Ph: ph, Cat: cat, Name: name, Args: args})
+	ev := Event{Tick: t.tick, Ph: ph, Cat: cat, Name: name, Args: args}
 	t.tick++
+	if t.stream != nil {
+		if t.streamErr == nil {
+			t.streamErr = writeJSONLine(t.stream, ev)
+		}
+	} else {
+		t.events = append(t.events, ev)
+	}
 	t.mu.Unlock()
+}
+
+// StreamTo attaches a streaming JSONL sink: events already buffered are
+// flushed to w (and dropped), and every event recorded afterwards is
+// written immediately instead of being retained in memory. The bytes
+// produced are identical to a post-run WriteJSONL of the same events,
+// so same-seed byte-identity is preserved across the two modes. Later
+// write failures are deferred to Err — the hot path never blocks on
+// error handling.
+func (t *Tracer) StreamTo(w io.Writer) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, ev := range t.events {
+		if err := writeJSONLine(w, ev); err != nil {
+			return err
+		}
+	}
+	t.events = nil
+	t.stream = w
+	t.streamErr = nil
+	return nil
+}
+
+// Err reports the first write failure of the streaming sink, if any.
+func (t *Tracer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.streamErr
+}
+
+// writeJSONLine marshals one event as a JSONL line — the single
+// serialization both WriteJSONL and the streaming sink go through.
+func writeJSONLine(w io.Writer, ev Event) error {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
 }
 
 // Begin opens a span identified by (cat, name). args may be nil.
@@ -61,14 +115,15 @@ func (t *Tracer) Instant(cat, name string, args map[string]any) {
 	t.emit(PhaseInstant, cat, name, args)
 }
 
-// Len reports the number of recorded events.
+// Len reports the number of recorded events, streamed or buffered.
 func (t *Tracer) Len() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return len(t.events)
+	return int(t.tick)
 }
 
-// Events returns a copy of the recorded events in tick order.
+// Events returns a copy of the buffered events in tick order. A tracer
+// in streaming mode retains nothing and returns an empty slice.
 func (t *Tracer) Events() []Event {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -78,14 +133,11 @@ func (t *Tracer) Events() []Event {
 }
 
 // WriteJSONL writes one JSON object per event, in tick order. For a
-// fixed seed the output is byte-identical across runs (see Event).
+// fixed seed the output is byte-identical across runs (see Event), and
+// byte-identical to what StreamTo would have produced live.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
 	for _, ev := range t.Events() {
-		b, err := json.Marshal(ev)
-		if err != nil {
-			return err
-		}
-		if _, err := w.Write(append(b, '\n')); err != nil {
+		if err := writeJSONLine(w, ev); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,138 @@
+package perfbench
+
+import (
+	"context"
+	"encoding/json"
+	"runtime"
+
+	"idde/internal/chaos"
+	"idde/internal/core"
+	"idde/internal/des"
+	"idde/internal/experiment"
+	"idde/internal/serve"
+	"idde/internal/units"
+)
+
+// ServeCase is one soaked scale in the serving baseline: the full
+// chaos-in-the-loop acceptance scenario (the most-fetched-from server
+// dies mid-run and recovers) driven at sustained RPS through the
+// resilient data plane, with the healthy/faulted/recovered tail
+// latencies and the recovery accounting on record.
+type ServeCase struct {
+	Params experiment.Params `json:"params"`
+	// HealthyMBps / HealthyLatMs are the solver's offline Eq. 16/9 view
+	// of the boot strategy, for anchoring the served latencies.
+	HealthyMBps  float64           `json:"healthy_mbps"`
+	HealthyLatMs float64           `json:"healthy_lat_ms"`
+	Soak         *serve.SoakReport `json:"soak"`
+}
+
+// ServeReport is the BENCH_serve.json schema.
+type ServeReport struct {
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Seed       uint64      `json:"seed"`
+	RPS        int         `json:"rps"`
+	DurationS  float64     `json:"duration_s"`
+	Cases      []ServeCase `json:"cases"`
+}
+
+// ServeScales is the soaked scale ladder. The serving loop's cost per
+// round is O(RPS × failover chain), independent of M beyond the request
+// mix, so the ladder stresses topology size rather than user count.
+func ServeScales() []experiment.Params {
+	return []experiment.Params{
+		{N: 10, M: 60, K: 4, Density: 1.0},
+		{N: 20, M: 150, K: 5, Density: 1.0},
+		{N: 40, M: 400, K: 8, Density: 1.0},
+	}
+}
+
+// ServeConfig tunes the tracked soak.
+type ServeConfig struct {
+	Seed     uint64
+	RPS      int
+	Duration units.Seconds
+	// MaxM skips scales with more users (0 = full ladder; CI smoke uses
+	// a low cap for the reduced artifact).
+	MaxM int
+}
+
+// RunServe executes the serving soak at every scale and assembles the
+// tracked report. Outcomes are deterministic for a fixed seed (hedging
+// stays off in the tracked baseline), so diffs in BENCH_serve.json mean
+// behaviour changed, not luck.
+func RunServe(ctx context.Context, cfg ServeConfig, logf func(string, ...any)) (*ServeReport, error) {
+	if cfg.RPS <= 0 {
+		cfg.RPS = 500
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 30
+	}
+	rep := &ServeReport{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       cfg.Seed,
+		RPS:        cfg.RPS,
+		DurationS:  float64(cfg.Duration),
+	}
+	for _, p := range ServeScales() {
+		if cfg.MaxM > 0 && p.M > cfg.MaxM {
+			logf("serve soak n=%d m=%d: skipped (cap m<=%d)", p.N, p.M, cfg.MaxM)
+			continue
+		}
+		in, err := experiment.BuildInstance(p, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		st := core.Solve(in, core.DefaultOptions()).Strategy
+		rate, lat := in.Evaluate(st)
+
+		onset := cfg.Duration / 4
+		faults := des.Faults{LossProb: 0.05, StallProb: 0.02, StallTime: units.Seconds(0.05), MaxRetries: 2}
+		camp := &chaos.Campaign{
+			Name: "bench-outage",
+			Events: []chaos.Event{{
+				At:       onset,
+				Duration: cfg.Duration / 2,
+				Kind:     chaos.ServerOutage,
+				Servers:  []int{serve.PopularSource(in, st)},
+			}},
+			Faults: faults,
+		}
+		soak, err := serve.Run(ctx, in, st, serve.Options{
+			Seed:     cfg.Seed,
+			RPS:      cfg.RPS,
+			Duration: cfg.Duration,
+			Faults:   faults,
+			Campaign: camp,
+		})
+		if err != nil {
+			return nil, err
+		}
+		soak.Timeline = nil // keep the tracked artifact compact
+		rep.Cases = append(rep.Cases, ServeCase{
+			Params:       p,
+			HealthyMBps:  float64(rate),
+			HealthyLatMs: lat.Millis(),
+			Soak:         soak,
+		})
+		logf("serve soak n=%d m=%d k=%d: %d req, %d degraded, %d opens, %d replans, heal %d rounds, wall %.0f RPS",
+			p.N, p.M, p.K, soak.Issued, soak.Degraded, soak.BreakerOpens,
+			soak.Replans, soak.MaxDegradedStreak, soak.WallRPS)
+	}
+	return rep, nil
+}
+
+// JSON renders the report for BENCH_serve.json.
+func (r *ServeReport) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"idde/internal/units"
+)
+
+// BreakerState is one of the three circuit-breaker states.
+type BreakerState int
+
+const (
+	// Closed admits every request (the healthy state).
+	Closed BreakerState = iota
+	// Open rejects every request until the open timeout elapses.
+	Open
+	// HalfOpen admits a seeded fraction of requests as probes; enough
+	// consecutive probe successes close the breaker, one probe failure
+	// re-opens it.
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// BreakerConfig tunes the per-server circuit breakers.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive failed attempts that
+	// trips a closed breaker open (default 5).
+	FailureThreshold int
+	// OpenTimeout is how long an open breaker rejects before moving to
+	// half-open, in virtual seconds (default 2s).
+	OpenTimeout units.Seconds
+	// ProbeFraction is the fraction of requests admitted as probes while
+	// half-open, decided by a seeded per-request draw so admission is
+	// deterministic and order-free (default 0.2).
+	ProbeFraction float64
+	// ProbeSuccesses is the number of consecutive successful probes that
+	// closes a half-open breaker (default 3).
+	ProbeSuccesses int
+}
+
+// withDefaults fills the zero fields.
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenTimeout <= 0 {
+		c.OpenTimeout = 2
+	}
+	if c.ProbeFraction <= 0 || c.ProbeFraction > 1 {
+		c.ProbeFraction = 0.2
+	}
+	if c.ProbeSuccesses <= 0 {
+		c.ProbeSuccesses = 3
+	}
+	return c
+}
+
+// Breaker is one server's circuit breaker. It runs on the engine's
+// virtual clock: state transitions depend only on the sequence of
+// recorded outcomes and the times they are recorded at, which is what
+// keeps the whole data plane deterministic for a fixed seed. Methods are
+// mutex-guarded so the live (wall-clock) front-end can share breakers
+// with the soak loop.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecFail  int
+	probeOK     int
+	openedAt    units.Seconds
+	transitions int64
+	opens       int64
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// State reports the breaker's state at virtual time now, applying the
+// open→half-open timeout transition if it is due.
+func (b *Breaker) State(now units.Seconds) BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tick(now)
+	return b.state
+}
+
+// tick applies time-driven transitions. Callers hold b.mu.
+func (b *Breaker) tick(now units.Seconds) {
+	if b.state == Open && now >= b.openedAt+b.cfg.OpenTimeout {
+		b.state = HalfOpen
+		b.probeOK = 0
+		b.transitions++
+	}
+}
+
+// Admit reports whether a request may use this server at virtual time
+// now. probeDraw is the request's seeded uniform draw in [0,1): while
+// half-open, only requests with probeDraw < ProbeFraction are admitted
+// (as probes). Closed admits everyone; open admits no one.
+func (b *Breaker) Admit(now units.Seconds, probeDraw float64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tick(now)
+	switch b.state {
+	case Closed:
+		return true
+	case HalfOpen:
+		return probeDraw < b.cfg.ProbeFraction
+	default:
+		return false
+	}
+}
+
+// Record folds one attempt outcome into the breaker at virtual time now.
+// The soak loop replays outcomes in deterministic request order at each
+// round barrier; the live front-end records as requests complete.
+func (b *Breaker) Record(now units.Seconds, success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tick(now)
+	if success {
+		b.consecFail = 0
+		if b.state == HalfOpen {
+			b.probeOK++
+			if b.probeOK >= b.cfg.ProbeSuccesses {
+				b.state = Closed
+				b.transitions++
+			}
+		}
+		return
+	}
+	b.consecFail++
+	switch b.state {
+	case Closed:
+		if b.consecFail >= b.cfg.FailureThreshold {
+			b.open(now)
+		}
+	case HalfOpen:
+		b.open(now)
+	case Open:
+		// Late failure from an in-flight attempt; stay open, refresh the
+		// timeout so a failing server is not probed immediately.
+		b.openedAt = now
+	}
+}
+
+// open trips the breaker. Callers hold b.mu.
+func (b *Breaker) open(now units.Seconds) {
+	b.state = Open
+	b.openedAt = now
+	b.probeOK = 0
+	b.transitions++
+	b.opens++
+}
+
+// Transitions reports the number of state changes so far.
+func (b *Breaker) Transitions() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.transitions
+}
+
+// Opens reports how many times the breaker tripped open.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"idde/internal/chaos"
+	"idde/internal/obs"
+	"idde/internal/units"
+)
+
+// stateView is the JSON shape of GET /state.
+type stateView struct {
+	Now          float64  `json:"now_s"`
+	PlanEpoch    int      `json:"plan_epoch"`
+	Breakers     []string `json:"breakers"`
+	BreakersOpen int      `json:"breakers_open"`
+	Health       []string `json:"health"`
+	Replans      int64    `json:"replans"`
+	ReplanPanics int64    `json:"replan_panics"`
+	ReplanErrors int64    `json:"replan_errors"`
+}
+
+// Handler exposes the engine's live control surface:
+//
+//	GET  /state   — virtual clock, plan epoch, breaker states, health
+//	POST /inject  — append a fault event to the live campaign at the
+//	                current virtual time (the chaos hook):
+//	                  kind=link-cut&link=U,V[&duration=S]
+//	                  kind=outage&servers=A,B[&duration=S]
+//	                  kind=brownout&factor=F[&duration=S]
+//
+// Mount it next to obs.Handler so /metrics sits on the same mux.
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/state", func(w http.ResponseWriter, r *http.Request) {
+		now := e.Now()
+		states := e.BreakerStates(now)
+		sv := stateView{Now: float64(now), PlanEpoch: e.plan.load().Epoch}
+		for _, s := range states {
+			sv.Breakers = append(sv.Breakers, s.String())
+			if s == Open {
+				sv.BreakersOpen++
+			}
+		}
+		e.mu.Lock()
+		for _, h := range e.health {
+			sv.Health = append(sv.Health, fmt.Sprintf("%.2f", h))
+		}
+		sv.Replans = e.stats.replans
+		sv.ReplanPanics = e.stats.replanPanics
+		sv.ReplanErrors = e.stats.replanErrors
+		e.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(sv)
+	})
+	mux.HandleFunc("/inject", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		ev, err := parseInject(r, e.Now())
+		if err == nil {
+			err = e.Inject(ev)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		fmt.Fprintf(w, "injected %s at %.3gs\n", ev.Kind, float64(ev.At))
+	})
+	return mux
+}
+
+// Serve mounts the engine's control surface plus the observability
+// endpoints (/metrics, /debug/vars, /debug/pprof) on addr. It blocks,
+// like http.ListenAndServe.
+func (e *Engine) Serve(addr string) error {
+	mux := http.NewServeMux()
+	h := e.Handler()
+	mux.Handle("/state", h)
+	mux.Handle("/inject", h)
+	mux.Handle("/", obs.Handler(e.sc))
+	return http.ListenAndServe(addr, mux)
+}
+
+// parseInject turns an /inject request into a chaos.Event striking at
+// the engine's current virtual time.
+func parseInject(r *http.Request, now units.Seconds) (chaos.Event, error) {
+	q := r.URL.Query()
+	ev := chaos.Event{At: now}
+	if d := q.Get("duration"); d != "" {
+		f, err := strconv.ParseFloat(d, 64)
+		if err != nil || f < 0 {
+			return ev, fmt.Errorf("serve: bad duration %q", d)
+		}
+		ev.Duration = units.Seconds(f)
+	}
+	switch kind := q.Get("kind"); kind {
+	case "link-cut":
+		parts := strings.Split(q.Get("link"), ",")
+		if len(parts) != 2 {
+			return ev, fmt.Errorf("serve: link-cut needs link=U,V")
+		}
+		u, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+		v, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err1 != nil || err2 != nil {
+			return ev, fmt.Errorf("serve: bad link %q", q.Get("link"))
+		}
+		ev.Kind = chaos.LinkCut
+		ev.Link = [2]int{u, v}
+	case "outage":
+		for _, p := range strings.Split(q.Get("servers"), ",") {
+			s, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return ev, fmt.Errorf("serve: bad servers %q", q.Get("servers"))
+			}
+			ev.Servers = append(ev.Servers, s)
+		}
+		ev.Kind = chaos.ServerOutage
+	case "brownout":
+		f, err := strconv.ParseFloat(q.Get("factor"), 64)
+		if err != nil {
+			return ev, fmt.Errorf("serve: bad factor %q", q.Get("factor"))
+		}
+		ev.Kind = chaos.CloudBrownout
+		ev.Factor = f
+	default:
+		return ev, fmt.Errorf("serve: unknown kind %q", kind)
+	}
+	return ev, nil
+}

@@ -1,0 +1,30 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"idde/internal/model"
+)
+
+// Plan is one immutable generation of the routing table: the (α, σ)
+// strategy and the instance it is valid on (the degraded view the
+// re-planner last repaired onto, or the healthy instance at boot).
+// Requests route against a Plan snapshot; the re-planner publishes a new
+// generation with an atomic pointer swap, so the data plane never sees a
+// half-updated table.
+type Plan struct {
+	// Epoch counts plan generations, starting at 0 for the boot plan.
+	Epoch int
+	// In is the instance the strategy was validated against.
+	In *model.Instance
+	// Strategy is the (α, σ) pair requests route by.
+	Strategy model.Strategy
+}
+
+// planHolder is the atomically swappable current plan.
+type planHolder struct {
+	p atomic.Pointer[Plan]
+}
+
+func (h *planHolder) load() *Plan      { return h.p.Load() }
+func (h *planHolder) store(plan *Plan) { h.p.Store(plan) }

@@ -1,0 +1,854 @@
+// Package serve is the resilient serving data plane in front of the
+// IDDE solver: a concurrent request loop that routes every user request
+// to a replica according to the current (α, σ) strategy, wrapped in the
+// resilience stack a production edge store needs — per-server circuit
+// breakers (closed/open/half-open with seeded probe admission),
+// deadline-budgeted retries with jittered exponential backoff, optional
+// hedged second requests, per-server health scoring, and graceful
+// degradation that falls back to the next-best replica and ultimately
+// the cloud while recording the Eq. 17 latency/backhaul cost of every
+// downgrade. A supervised background re-planner consumes degradation
+// reports and heals the placement with repair.RepairDegraded (bounded
+// re-equilibration waves plus bounded CELF re-commits), atomically
+// swapping the routing plan.
+//
+// The engine runs on a virtual clock in rounds (ticks): each round's
+// requests are evaluated in parallel against an immutable snapshot
+// (plan generation, breaker states, fault view), and all mutable state
+// — breakers, health scores, degradation accounting, re-plan triggers —
+// is folded at the round barrier in request order. Because every
+// request outcome is a pure function of the snapshot and a per-request
+// labeled rng split, outcomes are bit-identical for a fixed seed
+// regardless of worker count; wall-clock only ever appears in
+// throughput accounting, never in an outcome.
+//
+// Fault injection is chaos-in-the-loop: a chaos.Campaign acts as the
+// live fault timeline. Crossing one of its boundaries rebuilds the
+// "fault view" — the degraded instance reality the attempts execute
+// against — while the routing plan keeps pointing wherever it pointed,
+// exactly the window in which breakers, retries and failover have to
+// carry the traffic until the re-planner catches up.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"idde/internal/chaos"
+	"idde/internal/des"
+	"idde/internal/model"
+	"idde/internal/obs"
+	"idde/internal/repair"
+	"idde/internal/rng"
+	"idde/internal/units"
+)
+
+// Options configures the serving engine.
+type Options struct {
+	// Seed drives every request draw, loss draw and probe draw.
+	Seed uint64
+	// Workers bounds the parallel request evaluators per round
+	// (default GOMAXPROCS). Outcomes are identical for any value.
+	Workers int
+	// RPS is the sustained request rate per virtual second (default 500).
+	RPS int
+	// Tick is the round length in virtual seconds (default 1).
+	Tick units.Seconds
+	// Duration is the soak length in virtual seconds (default 60).
+	Duration units.Seconds
+	// Deadline is the per-request latency budget; once a request's
+	// accumulated virtual latency exceeds it, the request stops retrying
+	// edges and finishes from the cloud (default 2s).
+	Deadline units.Seconds
+	// MaxRetries bounds retries per source visit after the first attempt
+	// (default 2).
+	MaxRetries int
+	// Backoff is the base retry delay, doubling per attempt (default 2ms).
+	Backoff units.Seconds
+	// Jitter is the uniform jitter fraction applied to every backoff
+	// delay, in [0,1] (default 0.5).
+	Jitter float64
+	// Hedge enables hedged requests: when the primary resolution's
+	// latency exceeds this threshold, a second request to the next-best
+	// replica is scored and the faster of the two wins. 0 disables
+	// hedging (the deterministic-outcome reference mode).
+	Hedge units.Seconds
+	// Breaker tunes the per-server circuit breakers.
+	Breaker BreakerConfig
+	// ReplanDegradedFrac is the fraction of a round's requests that must
+	// be degraded to trigger a re-plan between fault boundaries
+	// (default 0.05).
+	ReplanDegradedFrac float64
+	// ReplanMinInterval is the bounded-staleness floor between
+	// threshold-triggered re-plans, in virtual seconds (default 2).
+	ReplanMinInterval units.Seconds
+	// Waves bounds the repair re-equilibration (repair.Options.Waves).
+	Waves int
+	// Faults is the wired-hop loss/stall model in force during the soak.
+	// When a Campaign is set, its Faults field is used instead unless
+	// this one is explicitly non-zero.
+	Faults des.Faults
+	// Campaign is the fault timeline (nil = healthy soak).
+	Campaign *chaos.Campaign
+	// AsyncReplan moves repair off the round loop onto a supervised
+	// background goroutine. Swap timing then depends on wall clock, so
+	// outcome determinism is waived; the live front-end uses it, the
+	// soak benchmarks keep the default synchronous barrier re-plan.
+	AsyncReplan bool
+	// Pace sleeps each round to approximately real time (live mode).
+	Pace bool
+	// Obs receives the data plane's telemetry. nil disables all of it;
+	// outcomes are identical either way.
+	Obs *obs.Scope
+
+	// repairFn overrides repair.RepairDegraded in tests (panic
+	// isolation, failure injection into the re-planner itself).
+	repairFn func(ref, degraded *model.Instance, st model.Strategy, opt repair.Options) (model.Strategy, *repair.Report, error)
+}
+
+// withDefaults fills the zero fields.
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.RPS <= 0 {
+		o.RPS = 500
+	}
+	if o.Tick <= 0 {
+		o.Tick = 1
+	}
+	if o.Duration <= 0 {
+		o.Duration = 60
+	}
+	if o.Deadline <= 0 {
+		o.Deadline = 2
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 2
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = units.Seconds(0.002)
+	}
+	if o.Jitter < 0 || o.Jitter > 1 {
+		o.Jitter = 0.5
+	}
+	o.Breaker = o.Breaker.withDefaults()
+	if o.ReplanDegradedFrac <= 0 {
+		o.ReplanDegradedFrac = 0.05
+	}
+	if o.ReplanMinInterval <= 0 {
+		o.ReplanMinInterval = 2
+	}
+	if o.Waves <= 0 {
+		o.Waves = 2
+	}
+	if o.Campaign != nil && !o.Faults.Enabled() {
+		o.Faults = o.Campaign.Faults
+	}
+	if o.repairFn == nil {
+		o.repairFn = repair.RepairDegraded
+	}
+	return o
+}
+
+// RequestOutcome is one request's fully resolved result: where it was
+// served from, what it cost, and how far it strayed from the plan.
+type RequestOutcome struct {
+	User, Item int
+	// Served is the serving edge server, or -1 for the cloud.
+	Served int
+	// Intended is the plan's Eq. 8 choice, or -1 for the cloud.
+	Intended int
+	// Latency is the virtual completion latency, retries and backoff
+	// included.
+	Latency units.Seconds
+	// Retries counts lost attempts that were re-sent; Failovers counts
+	// sources abandoned after their retry budget.
+	Retries, Failovers int
+	Hedged             bool
+	// CloudFallback marks a request that began on an edge source and
+	// ended at the cloud; DeadlineExceeded marks a request that burned
+	// its whole latency budget first.
+	CloudFallback, DeadlineExceeded bool
+	// Degraded marks any deviation from the plan's intent. LatencyDelta
+	// is the Eq. 17-style cost of the downgrade: measured latency minus
+	// the plan's intended latency. BackhaulMB is the cloud backhaul
+	// traffic the downgrade caused (EDD-NSTE's cost of every
+	// fallback-to-cloud decision).
+	Degraded     bool
+	LatencyDelta units.Seconds
+	BackhaulMB   units.MegaBytes
+
+	// visits holds (server, success) per source visit, folded into the
+	// breakers in deterministic order at the round barrier.
+	visits []visit
+}
+
+type visit struct {
+	server int
+	ok     bool
+}
+
+// view is the immutable per-round snapshot requests evaluate against.
+type view struct {
+	plan    *Plan
+	fv      *model.Instance // fault view: the degraded reality
+	brState []BreakerState
+	opt     *Options
+}
+
+// Engine is the serving data plane. Create with NewEngine, drive with
+// RunSoak (virtual-time, deterministic) or the HTTP front-end (live).
+type Engine struct {
+	opt     Options
+	healthy *model.Instance
+	plan    planHolder
+	breaker []*Breaker
+	sc      *obs.Scope
+
+	mu           sync.Mutex // guards campaign, fv, now, health, stats
+	campaign     *chaos.Campaign
+	fv           *model.Instance
+	fvEmpty      bool
+	lastDeg      repair.Degradation
+	lastBoundary units.Seconds
+	now          units.Seconds
+	health       []float64
+	stats        engineStats
+	lastPlanT    units.Seconds
+}
+
+// engineStats accumulates engine-lifetime counters (guarded by e.mu).
+type engineStats struct {
+	replans      int64
+	replanPanics int64
+	replanErrors int64
+}
+
+// NewEngine validates the boot strategy and builds the data plane.
+func NewEngine(healthy *model.Instance, st model.Strategy, opt Options) (*Engine, error) {
+	if err := healthy.Check(st); err != nil {
+		return nil, fmt.Errorf("serve: boot strategy invalid: %w", err)
+	}
+	opt = opt.withDefaults()
+	if opt.Campaign != nil {
+		if err := opt.Campaign.Validate(healthy); err != nil {
+			return nil, err
+		}
+	}
+	e := &Engine{
+		opt:     opt,
+		healthy: healthy,
+		sc:      opt.Obs,
+		fv:      healthy,
+		fvEmpty: true,
+		health:  make([]float64, healthy.N()),
+	}
+	for i := range e.health {
+		e.health[i] = 1
+	}
+	e.breaker = make([]*Breaker, healthy.N())
+	for i := range e.breaker {
+		e.breaker[i] = NewBreaker(opt.Breaker)
+	}
+	e.campaign = opt.Campaign
+	e.plan.store(&Plan{Epoch: 0, In: healthy, Strategy: st})
+	return e, nil
+}
+
+// Plan returns the current routing plan generation.
+func (e *Engine) Plan() *Plan { return e.plan.load() }
+
+// Now reports the engine's virtual clock.
+func (e *Engine) Now() units.Seconds {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.now
+}
+
+// BreakerStates reports every server's breaker state at virtual time
+// now.
+func (e *Engine) BreakerStates(now units.Seconds) []BreakerState {
+	out := make([]BreakerState, len(e.breaker))
+	for i, b := range e.breaker {
+		out[i] = b.State(now)
+	}
+	return out
+}
+
+// Inject appends fault events to the live campaign at the engine's
+// current virtual time. The soak loop picks the new boundary up at its
+// next round. Used by the HTTP front-end's chaos hook.
+func (e *Engine) Inject(evs ...chaos.Event) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c := &chaos.Campaign{Name: "live"}
+	if e.campaign != nil {
+		c.Name = e.campaign.Name
+		c.Faults = e.campaign.Faults
+		c.Events = append(c.Events, e.campaign.Events...)
+	}
+	c.Events = append(c.Events, evs...)
+	if err := c.Validate(e.healthy); err != nil {
+		return err
+	}
+	e.campaign = c
+	e.fv = nil // force a fault-view rebuild at the next boundary check
+	return nil
+}
+
+// snapshotLocked rebuilds the fault view if the campaign's fault state
+// changed since the last call, and returns the round's immutable view.
+// recovered reports whether the change lifted any fault — the one fault
+// transition the control plane is told about directly (a server
+// re-registering), as opposed to onsets, which the data plane must
+// discover through failures. Callers hold e.mu.
+func (e *Engine) snapshotLocked(now units.Seconds) (v *view, recovered bool, err error) {
+	if e.fv == nil || e.fvStale(now) {
+		d := repair.Degradation{}
+		if e.campaign != nil {
+			d = e.campaign.DegradationAt(now)
+		}
+		recovered = faultLifted(e.lastDeg, d)
+		if degradationEmpty(d) {
+			e.fv = e.healthy
+			e.fvEmpty = true
+		} else {
+			fv, derr := repair.Degrade(e.healthy, d)
+			if derr != nil {
+				return nil, false, fmt.Errorf("serve: fault view at %v: %w", now, derr)
+			}
+			e.fv = fv
+			e.fvEmpty = false
+		}
+		e.lastDeg = d
+		e.lastBoundary = boundaryAt(e.campaign, now)
+	}
+	v = &view{
+		plan:    e.plan.load(),
+		fv:      e.fv,
+		brState: e.BreakerStates(now),
+		opt:     &e.opt,
+	}
+	return v, recovered, nil
+}
+
+// faultLifted reports whether any fault present in old is gone in new:
+// a failed server back up, a cut link restored, or a brownout eased.
+func faultLifted(old, new repair.Degradation) bool {
+	up := map[int]bool{}
+	for _, s := range new.FailedServers {
+		up[s] = true
+	}
+	for _, s := range old.FailedServers {
+		if !up[s] {
+			return true
+		}
+	}
+	cut := map[[2]int]bool{}
+	for _, l := range new.CutLinks {
+		cut[l] = true
+		cut[[2]int{l[1], l[0]}] = true
+	}
+	for _, l := range old.CutLinks {
+		if !cut[l] {
+			return true
+		}
+	}
+	if old.CloudFactor != 0 && old.CloudFactor != 1 {
+		if new.CloudFactor == 0 || new.CloudFactor == 1 || new.CloudFactor > old.CloudFactor {
+			return true
+		}
+	}
+	return false
+}
+
+// degradationEmpty reports whether d injects nothing.
+func degradationEmpty(d repair.Degradation) bool {
+	return len(d.FailedServers) == 0 && len(d.CutLinks) == 0 &&
+		(d.CloudFactor == 0 || d.CloudFactor == 1)
+}
+
+// boundaryAt reports the latest campaign boundary at or before t (0 for
+// a nil campaign).
+func boundaryAt(c *chaos.Campaign, t units.Seconds) units.Seconds {
+	if c == nil {
+		return 0
+	}
+	last := units.Seconds(0)
+	for _, b := range c.Boundaries() {
+		if b <= t && b > last {
+			last = b
+		}
+	}
+	return last
+}
+
+// fvStale reports whether a campaign boundary was crossed since the
+// fault view was built. Callers hold e.mu.
+func (e *Engine) fvStale(now units.Seconds) bool {
+	return e.campaign != nil && boundaryAt(e.campaign, now) != e.lastBoundary
+}
+
+// evalRequest resolves one request against the snapshot. It is a pure
+// function of (v, j, k, s): no shared state is read or written, which
+// is what makes outcomes independent of worker interleaving. The draw
+// order within the stream is part of the determinism contract — do not
+// reorder draws without regenerating baselines.
+func evalRequest(v *view, j, k int, s *rng.Stream) RequestOutcome {
+	opt := v.opt
+	plan := v.plan
+	st := plan.Strategy
+	out := RequestOutcome{User: j, Item: k, Served: -1, Intended: -1}
+
+	// The plan's intent, under the plan's own world view.
+	intendedSrc, intendedEdge := plan.In.BestSource(st.Alloc, st.Delivery, j, k, st.Mode, nil)
+	intendedLat := plan.In.RequestLatencyMode(st.Alloc, st.Delivery, j, k, st.Mode)
+	if intendedEdge {
+		out.Intended = intendedSrc
+	}
+
+	probeDraw := s.Float64() // one probe-admission draw per request
+
+	a := st.Alloc[j]
+	size := v.fv.Wl.Items[k].Size
+	var latency units.Seconds
+
+	// A dead attachment point means the user's wireless leg is gone in
+	// reality: the request can only be served over the cloud path until
+	// the re-planner re-attaches the user.
+	attachmentDown := a.Allocated() && v.fv.Top.Servers[a.Server].Failed
+
+	admit := func(o int) bool {
+		switch v.brState[o] {
+		case Closed:
+			return true
+		case HalfOpen:
+			return probeDraw < opt.Breaker.ProbeFraction
+		default:
+			return false
+		}
+	}
+
+	tried := map[int]bool{}
+	skip := func(o int) bool { return tried[o] || !admit(o) }
+
+	serveCloud := func() {
+		latency += v.fv.CloudLatency(k)
+		out.Served = -1
+		if len(tried) > 0 {
+			out.CloudFallback = true
+		}
+	}
+
+	if !a.Allocated() || attachmentDown {
+		serveCloud()
+		out.Latency = latency
+		finishOutcome(&out, intendedEdge, intendedLat, size, attachmentDown)
+		return out
+	}
+
+	dst := a.Server
+	servedEdge := false
+	for !servedEdge {
+		src, viaEdge := plan.In.BestSource(st.Alloc, st.Delivery, j, k, st.Mode, skip)
+		if !viaEdge {
+			serveCloud()
+			break
+		}
+		if src == dst || st.Mode != model.Collaborative {
+			// Replica at the attachment server (or over-the-air
+			// delivery): no wired hop, so the wired fault model does not
+			// apply — but the holder itself may be dead in reality.
+			if v.fv.Top.Servers[src].Failed {
+				out.visits = append(out.visits, visit{server: src, ok: false})
+				out.Failovers++
+				latency += opt.Backoff // connection-refused detection cost
+				tried[src] = true
+				continue
+			}
+			out.Served = src
+			servedEdge = true
+			out.visits = append(out.visits, visit{server: src, ok: true})
+			break
+		}
+
+		// Wired transfer src→dst under the fault view.
+		edgeLat := v.fv.EdgeLatency(k, src, dst)
+		if v.fv.Top.Servers[src].Failed || math.IsInf(float64(edgeLat), 1) {
+			// Dead source or unreachable path: fail fast, as a router
+			// does on connection-refused / no-route — one failed visit,
+			// no retries.
+			out.visits = append(out.visits, visit{server: src, ok: false})
+			out.Failovers++
+			latency += opt.Backoff
+			tried[src] = true
+			continue
+		}
+		ok := false
+		for attempt := 0; attempt <= opt.MaxRetries; attempt++ {
+			attemptLat := edgeLat
+			if opt.Faults.StallProb > 0 && s.Bool(opt.Faults.StallProb) {
+				attemptLat += opt.Faults.StallTime
+			}
+			if !s.Bool(opt.Faults.LossProb) {
+				latency += attemptLat
+				ok = true
+				break
+			}
+			// Loss detected at the end of the attempt: the time is spent
+			// either way, then jittered exponential backoff.
+			out.Retries++
+			backoff := units.Seconds(float64(opt.Backoff) * math.Pow(2, float64(attempt)))
+			backoff = units.Seconds(float64(backoff) * (1 + opt.Jitter*s.Float64()))
+			latency += attemptLat + backoff
+			if latency > opt.Deadline {
+				out.DeadlineExceeded = true
+				break
+			}
+		}
+		if ok {
+			out.Served = src
+			servedEdge = true
+			out.visits = append(out.visits, visit{server: src, ok: true})
+			break
+		}
+		out.visits = append(out.visits, visit{server: src, ok: false})
+		out.Failovers++
+		tried[src] = true
+		if out.DeadlineExceeded {
+			serveCloud()
+			break
+		}
+	}
+
+	// Hedging: when the resolved latency is already past the hedge
+	// threshold, score a single shadow attempt at the next-best source
+	// and take the faster outcome.
+	if opt.Hedge > 0 && servedEdge && latency > opt.Hedge {
+		tried[out.Served] = true
+		if hsrc, viaEdge := plan.In.BestSource(st.Alloc, st.Delivery, j, k, st.Mode, skip); viaEdge {
+			hLat := v.fv.EdgeLatency(k, hsrc, dst)
+			if !v.fv.Top.Servers[hsrc].Failed && !math.IsInf(float64(hLat), 1) {
+				if opt.Faults.StallProb > 0 && s.Bool(opt.Faults.StallProb) {
+					hLat += opt.Faults.StallTime
+				}
+				if !s.Bool(opt.Faults.LossProb) {
+					total := opt.Hedge + hLat
+					if total < latency {
+						latency = total
+						out.Served = hsrc
+						out.Hedged = true
+						out.visits = append(out.visits, visit{server: hsrc, ok: true})
+					}
+				}
+			}
+		}
+	}
+
+	out.Latency = latency
+	finishOutcome(&out, intendedEdge, intendedLat, size, attachmentDown)
+	return out
+}
+
+// finishOutcome derives the degradation accounting shared by every exit
+// path: any deviation from the plan's intent is a degradation, priced by
+// the latency delta over the plan's expectation plus the backhaul MB of
+// an unplanned cloud fetch.
+func finishOutcome(out *RequestOutcome, intendedEdge bool, intendedLat units.Seconds, size units.MegaBytes, attachmentDown bool) {
+	servedCloud := out.Served < 0
+	deviates := out.Served != out.Intended
+	out.Degraded = deviates || out.CloudFallback || out.DeadlineExceeded || attachmentDown
+	if out.Degraded {
+		if d := out.Latency - intendedLat; d > 0 {
+			out.LatencyDelta = d
+		}
+		if servedCloud && intendedEdge {
+			out.BackhaulMB = size
+		}
+	}
+}
+
+// requestPairs flattens the workload's request matrix.
+func requestPairs(in *model.Instance) [][2]int {
+	var out [][2]int
+	for j, items := range in.Wl.Requests {
+		for _, k := range items {
+			out = append(out, [2]int{j, k})
+		}
+	}
+	return out
+}
+
+// Run builds an engine and executes the soak in one call — the main
+// entry point for benchmarks, tests and the CLI's soak mode.
+func Run(ctx context.Context, healthy *model.Instance, st model.Strategy, opt Options) (*SoakReport, error) {
+	e, err := NewEngine(healthy, st, opt)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunSoak(ctx)
+}
+
+// RunSoak drives the engine's round loop for Options.Duration of
+// virtual time, returning the full soak accounting. Cancelling the
+// context stops the soak at the next round barrier and returns the
+// partial report with ctx's error; no goroutines are leaked either way.
+func (e *Engine) RunSoak(ctx context.Context) (*SoakReport, error) {
+	opt := e.opt
+	pairs := requestPairs(e.healthy)
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("serve: workload has no requests")
+	}
+	root := rng.New(opt.Seed)
+	rounds := int(float64(opt.Duration) / float64(opt.Tick))
+	if rounds < 1 {
+		rounds = 1
+	}
+	perRound := int(float64(opt.RPS) * float64(opt.Tick))
+	if perRound < 1 {
+		perRound = 1
+	}
+
+	rep := newSoakReport(&opt, rounds, perRound)
+	hash := fnv.New64a()
+	outcomes := make([]RequestOutcome, perRound)
+	reqs := make([][2]int, perRound)
+
+	var replanner *asyncReplanner
+	if opt.AsyncReplan {
+		replanner = startAsyncReplanner(e)
+		defer replanner.stop()
+	}
+
+	e.sc.Begin("serve", "soak", map[string]any{
+		"rounds": rounds, "per_round": perRound, "rps": opt.RPS,
+	})
+	defer e.sc.End("serve", "soak")
+	wallStart := time.Now()
+
+	var ctxErr error
+	for r := 0; r < rounds; r++ {
+		if err := ctx.Err(); err != nil {
+			ctxErr = err
+			break
+		}
+		now := units.Seconds(float64(r) * float64(opt.Tick))
+		e.mu.Lock()
+		e.now = now
+		v, recovered, err := e.snapshotLocked(now)
+		fvEmpty := e.fvEmpty
+		e.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+
+		// Recovery is the one fault transition the control plane hears
+		// about directly (a server re-registering): re-plan to re-admit.
+		// Fault *onsets* are deliberately not pushed — the data plane
+		// discovers them through failures, breakers carry the traffic,
+		// and the degraded-fraction trigger below heals the plan.
+		if recovered && r > 0 {
+			e.requestReplan(replanner, now, v.fv)
+			if !opt.AsyncReplan {
+				// The plan changed: rebuild the snapshot so this round
+				// already routes on the re-admitted table.
+				v = &view{plan: e.plan.load(), fv: v.fv, brState: v.brState, opt: v.opt}
+			}
+		}
+
+		// Draw the round's request mix, then evaluate in parallel.
+		rs := root.SplitN("round", r)
+		for i := range reqs {
+			reqs[i] = pairs[rs.IntN(len(pairs))]
+		}
+		base := r * perRound
+		var wg sync.WaitGroup
+		chunk := (perRound + opt.Workers - 1) / opt.Workers
+		for w := 0; w < opt.Workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > perRound {
+				hi = perRound
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					s := root.SplitN("req", base+i)
+					outcomes[i] = evalRequest(v, reqs[i][0], reqs[i][1], s)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+
+		// Barrier fold, in request order: breakers, health, metrics,
+		// degradation accounting, hash.
+		agg := e.foldRound(r, now, outcomes, hash, rep)
+
+		// Threshold-triggered re-plan under bounded staleness.
+		if agg.degraded > 0 &&
+			float64(agg.degraded)/float64(perRound) >= opt.ReplanDegradedFrac &&
+			now-e.lastPlanTime() >= opt.ReplanMinInterval {
+			e.requestReplan(replanner, now, v.fv)
+		}
+
+		rep.observeRound(r, now, agg, fvEmpty, e.plan.load().Epoch)
+
+		if opt.Pace {
+			elapsed := time.Since(wallStart)
+			target := time.Duration(float64(r+1) * float64(opt.Tick) * float64(time.Second))
+			if sleep := target - elapsed; sleep > 0 {
+				select {
+				case <-time.After(sleep):
+				case <-ctx.Done():
+				}
+			}
+		}
+	}
+	rep.finish(e, time.Since(wallStart), hash)
+	return rep, ctxErr
+}
+
+// roundAgg is the deterministic fold of one round's outcomes.
+type roundAgg struct {
+	requests, degraded, retries, failovers int
+	cloudFallbacks, deadlineExceeded       int
+	hedged, cloudServed                    int
+	open                                   int
+	latencySum                             float64
+	latencyDeltaS                          float64
+	backhaulMB                             float64
+}
+
+// foldRound folds the round's outcomes into the engine and report in
+// request order. The fold is the only writer of breaker and health
+// state during a soak, so the whole data plane stays deterministic.
+func (e *Engine) foldRound(r int, now units.Seconds, outcomes []RequestOutcome, hash hashWriter, rep *SoakReport) roundAgg {
+	const healthGamma = 0.05
+	var agg roundAgg
+	end := now + e.opt.Tick
+	for i := range outcomes {
+		o := &outcomes[i]
+		agg.requests++
+		agg.latencySum += float64(o.Latency)
+		agg.retries += o.Retries
+		agg.failovers += o.Failovers
+		if o.CloudFallback {
+			agg.cloudFallbacks++
+		}
+		if o.DeadlineExceeded {
+			agg.deadlineExceeded++
+		}
+		if o.Hedged {
+			agg.hedged++
+		}
+		if o.Served < 0 {
+			agg.cloudServed++
+		}
+		if o.Degraded {
+			agg.degraded++
+			agg.latencyDeltaS += float64(o.LatencyDelta)
+			agg.backhaulMB += float64(o.BackhaulMB)
+		}
+		for _, vs := range o.visits {
+			e.breaker[vs.server].Record(end, vs.ok)
+			h := e.health[vs.server]
+			target := 0.0
+			if vs.ok {
+				target = 1
+			}
+			e.health[vs.server] = (1-healthGamma)*h + healthGamma*target
+		}
+		rep.observeOutcome(o)
+		writeOutcomeHash(hash, r, i, o)
+	}
+	for _, b := range e.breaker {
+		if b.State(end) == Open {
+			agg.open++
+		}
+	}
+	if sc := e.sc; sc.Enabled() {
+		sc.Count("serve_requests_total", int64(agg.requests))
+		sc.Count("serve_retries_total", int64(agg.retries))
+		sc.Count("serve_failovers_total", int64(agg.failovers))
+		sc.Count("serve_cloud_fallbacks_total", int64(agg.cloudFallbacks))
+		sc.Count("serve_deadline_exceeded_total", int64(agg.deadlineExceeded))
+		sc.Count("serve_hedges_total", int64(agg.hedged))
+		sc.Count("serve_degraded_total", int64(agg.degraded))
+		for i := range outcomes {
+			sc.Observe("serve_request_latency_ms", outcomes[i].Latency.Millis())
+		}
+		sc.SetGauge("serve_breakers_open", float64(agg.open))
+		sc.SetGauge("serve_plan_epoch", float64(e.plan.load().Epoch))
+		minH := 1.0
+		for _, h := range e.health {
+			if h < minH {
+				minH = h
+			}
+		}
+		sc.SetGauge("serve_health_min", minH)
+		if sc.Tracing() {
+			sc.Instant("serve", "round", map[string]any{
+				"round":     r,
+				"requests":  agg.requests,
+				"degraded":  agg.degraded,
+				"retries":   agg.retries,
+				"failovers": agg.failovers,
+				"open":      agg.open,
+			})
+		}
+	}
+	return agg
+}
+
+// hashWriter is the subset of hash.Hash64 the outcome fingerprint needs.
+type hashWriter interface {
+	Write(p []byte) (int, error)
+	Sum64() uint64
+}
+
+// writeOutcomeHash folds one outcome into the determinism fingerprint.
+func writeOutcomeHash(h hashWriter, round, idx int, o *RequestOutcome) {
+	var buf [8]byte
+	put := func(v uint64) {
+		for b := 0; b < 8; b++ {
+			buf[b] = byte(v >> (8 * b))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(round))
+	put(uint64(idx))
+	put(uint64(int64(o.Served)))
+	put(math.Float64bits(float64(o.Latency)))
+	put(uint64(o.Retries)<<32 | uint64(o.Failovers))
+	flags := uint64(0)
+	if o.Hedged {
+		flags |= 1
+	}
+	if o.CloudFallback {
+		flags |= 2
+	}
+	if o.DeadlineExceeded {
+		flags |= 4
+	}
+	if o.Degraded {
+		flags |= 8
+	}
+	put(flags)
+}
+
+// lastPlanTime reports when the plan last changed (virtual time).
+func (e *Engine) lastPlanTime() units.Seconds {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastPlanT
+}
