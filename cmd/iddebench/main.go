@@ -20,6 +20,7 @@
 //	iddebench -perf2json BENCH_phase2.json           # regenerate the Phase 2 perf baseline
 //	iddebench -memjson BENCH_mem.json                # regenerate the memory/allocation baseline
 //	iddebench -servejson BENCH_serve.json            # regenerate the serving-soak baseline
+//	iddebench -shardjson BENCH_shard.json            # regenerate the geo-sharded solver baseline
 //	iddebench -perfjson out.json -perftime 250ms     # quick CI smoke variant
 //	iddebench -fig 4 -cpuprofile cpu.pb.gz           # pprof any run
 //	iddebench -fig 0 -reps 50 -obs 127.0.0.1:6060    # live pprof/expvar//metrics while it runs
@@ -74,6 +75,8 @@ func realMain() error {
 		serveRPS  = flag.Int("serverps", 500, "sustained virtual RPS for -servejson")
 		serveDur  = flag.Float64("servedur", 30, "soak duration in virtual seconds for -servejson")
 		serveMaxM = flag.Int("servemaxm", 0, "skip serve-soak scales with more than this many users (0 = full ladder; CI smoke uses a low cap)")
+		shardJSON = flag.String("shardjson", "", "write the geo-sharded solver baseline (tile ladder vs global, single-tile identity, hot-path allocs) to this file and exit (nonzero exit on divergence or alloc regressions)")
+		shardMaxM = flag.Int("shardmaxm", 0, "skip sharding scales with more than this many users (0 = full ladder; CI smoke uses a low cap)")
 		memMaxN   = flag.Int("memmaxn", 0, "skip aggregate-row memory scales with more than this many servers (0 = full ladder)")
 		memMaxM   = flag.Int("memmaxm", 0, "skip solve-allocation memory scales with more than this many users (0 = full ladder)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -118,6 +121,8 @@ func realMain() error {
 		err = runMem(*memJSON, *perfTime, *seed, *memMaxN, *memMaxM)
 	} else if *serveJSON != "" {
 		err = runServe(*serveJSON, *seed, *serveRPS, *serveDur, *serveMaxM)
+	} else if *shardJSON != "" {
+		err = runShard(*shardJSON, *seed, *shardMaxM)
 	} else {
 		err = run(*fig, *reps, *seed, *ipBudget, *noIP, *outDir, *plot, scope)
 	}
@@ -240,6 +245,36 @@ func runServe(path string, seed uint64, rps int, dur float64, maxM int) error {
 	}
 	fmt.Printf("wrote %s (%d cases)\n", path, len(rep.Cases))
 	return nil
+}
+
+// runShard regenerates the tracked geo-sharded solver baseline. A
+// Shards=1 solve that diverges from the global solver, or a tile-view
+// hot path that allocates in steady state, is an error (nonzero exit),
+// so the CI bench-smoke fails on regressions.
+func runShard(path string, seed uint64, maxM int) error {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	rep, err := perfbench.RunShard(seed, maxM, logf)
+	if err != nil {
+		return err
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	for _, p := range perfbench.ShardScales() {
+		for _, t := range []int{8, 16} {
+			if s, ok := rep.Speedups[fmt.Sprintf("ShardSolve/M=%d/tiles=%d", p.M, t)]; ok {
+				fmt.Printf("sharded solve speedup at M=%d, %d tiles: %.1fx\n", p.M, t, s)
+			}
+		}
+	}
+	fmt.Printf("wrote %s (%d records)\n", path, len(rep.Records))
+	return rep.ShardRegression()
 }
 
 // runMem regenerates the tracked memory/allocation baseline. A guarded

@@ -45,6 +45,7 @@ func realMain() int {
 		k       = flag.Int("k", 5, "data items")
 		density = flag.Float64("density", 1.0, "links per server")
 		seed    = flag.Uint64("seed", 1, "seed for the instance and every request/loss/probe draw")
+		shards  = flag.Int("shards", 0, "solve the boot plan with the geo-sharded solver on this many tiles (0 = global solver)")
 
 		rps        = flag.Int("rps", 500, "sustained requests per virtual second")
 		duration   = flag.Float64("duration", 60, "soak length in virtual seconds")
@@ -83,7 +84,10 @@ func realMain() int {
 	if err != nil {
 		return fatal(err)
 	}
-	st := core.Solve(in, core.DefaultOptions()).Strategy
+	sopt := core.DefaultOptions()
+	sopt.Shards = *shards
+	sres := core.Solve(in, sopt)
+	st := sres.Strategy
 	rate, lat := in.Evaluate(st)
 
 	faults := des.Faults{
@@ -141,8 +145,12 @@ func realMain() int {
 	}
 
 	if !*jsonOut {
-		fmt.Printf("booting n=%d m=%d k=%d seed=%d — IDDE-G healthy: %.2f MBps, %.3f ms; %s\n",
-			*n, *m, *k, *seed, float64(rate), lat.Millis(), desc)
+		plan := "IDDE-G"
+		if sres.Shard != nil {
+			plan = fmt.Sprintf("IDDE-G sharded (%d tiles, %d halo users)", sres.Shard.Tiles, sres.Shard.HaloUsers)
+		}
+		fmt.Printf("booting n=%d m=%d k=%d seed=%d — %s healthy: %.2f MBps, %.3f ms; %s\n",
+			*n, *m, *k, *seed, plan, float64(rate), lat.Millis(), desc)
 	}
 
 	rep, err := eng.RunSoak(ctx)

@@ -23,6 +23,7 @@ import (
 	"idde/internal/model"
 	"idde/internal/obs"
 	"idde/internal/placement"
+	"idde/internal/shard"
 	"idde/internal/units"
 )
 
@@ -71,6 +72,20 @@ type Options struct {
 	// an intentionally all-zero configuration must carry
 	// placement.Options.Set (see placement.NewOptions) to be preserved.
 	Placement placement.Options
+	// Shards switches Solve to the geo-sharded solver (internal/shard):
+	// the instance is partitioned into that many coverage-connected
+	// tiles, both phases run per tile on their own worker/ledger/arena,
+	// and a bounded deterministic halo-exchange plus a global CELF
+	// reconcile pass stitch the boundary back together. 0 (the default)
+	// keeps the global path; Shards=1 is bit-identical to it (pinned by
+	// shard_differential_test.go). Multi-tile results are deterministic
+	// and GOMAXPROCS-independent but approximate near tile boundaries;
+	// per-tile row budgets reuse AggRowBudget.
+	Shards int
+	// ShardHaloRounds caps the halo-exchange sweeps of a sharded solve
+	// (0 = shard.DefaultHaloRounds, negative = no exchange). Ignored
+	// when Shards is 0.
+	ShardHaloRounds int
 	// Obs receives the solver's telemetry and is threaded into both
 	// phase engines: phase spans, per-round / per-commit trace events,
 	// counters cross-wired from game.Stats and placement.Result, and
@@ -154,8 +169,14 @@ type Result struct {
 	// GainEvaluations counts Phase 2 oracle calls (CELF efficiency).
 	GainEvaluations int
 	// LatencyReduction is ΔL(σ) of Eq. 25: total latency saved versus
-	// all-cloud delivery.
+	// all-cloud delivery. For sharded solves it sums tile-local and
+	// reconcile gains (exact at Shards=1; see shard.Result).
 	LatencyReduction units.Seconds
+
+	// Shard carries the sharding accounting of a Shards>0 solve: tile
+	// balance, frontier/halo sizes, sweep convergence and the reconcile
+	// pass. nil for the global path.
+	Shard *shard.Stats
 
 	Phase1Time, Phase2Time time.Duration
 }
@@ -227,6 +248,9 @@ func publishAggStats(sc *obs.Scope, l *model.Ledger) {
 
 // Solve runs IDDE-G on the instance.
 func Solve(in *model.Instance, opt Options) *Result {
+	if opt.Shards > 0 {
+		return solveSharded(in, opt)
+	}
 	opt.Game = resolveGameOptions(opt.Game)
 	sc := scopeOf(opt)
 	opt.Game.Obs = sc

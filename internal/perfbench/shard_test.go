@@ -1,0 +1,104 @@
+package perfbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"idde/internal/experiment"
+)
+
+// TestShardScalesTrajectory pins the tracked sharding ladder: three
+// rungs at the paper's 1:20 server:user ratio, the full tile ladder,
+// and the single-tile cap below the top rung.
+func TestShardScalesTrajectory(t *testing.T) {
+	ps := ShardScales()
+	if len(ps) != 3 || ps[0].M != 2000 || ps[2].M != 10000 {
+		t.Fatalf("unexpected shard scale ladder: %v", ps)
+	}
+	for _, p := range ps {
+		if p.N != p.M/20 || p.K != 5 || p.Density != 1.0 {
+			t.Fatalf("shard rung drifted from ladder conventions: %v", p)
+		}
+	}
+	tiles := ShardTileLadder()
+	if len(tiles) == 0 || tiles[0] != 1 || tiles[len(tiles)-1] != 16 {
+		t.Fatalf("unexpected tile ladder: %v", tiles)
+	}
+	if SingleTileCapM >= ps[2].M {
+		t.Fatal("single-tile cap must exclude the top rung")
+	}
+}
+
+// TestRunShardSmoke verifies the sharding suite's plumbing on a tiny
+// instance: one record per (scale, tile) configuration plus the global
+// one, speedup entries, the single-tile identity witness, and the
+// zero-alloc tile-view hot path. The full-budget ladder run happens in
+// cmd/iddebench -shardjson.
+func TestRunShardSmoke(t *testing.T) {
+	scales := []experiment.Params{{N: 12, M: 90, K: 5, Density: 1.0}}
+	tiles := []int{1, 3}
+	rep, err := RunShardScales(scales, tiles, 2022, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != len(scales)*(len(tiles)+1) {
+		t.Fatalf("expected %d records, got %d", len(scales)*(len(tiles)+1), len(rep.Records))
+	}
+	for _, r := range rep.Records {
+		if r.WallNs <= 0 || r.AvgRate <= 0 {
+			t.Fatalf("degenerate record %+v", r)
+		}
+		if r.Tiles == 0 && r.Name != "ShardSolve/global" {
+			t.Fatalf("tiles=0 record misnamed: %+v", r)
+		}
+	}
+	for _, tl := range tiles {
+		key := fmt.Sprintf("ShardSolve/M=%d/tiles=%d", scales[0].M, tl)
+		if s, ok := rep.Speedups[key]; !ok || s <= 0 {
+			t.Fatalf("missing or degenerate speedup entry %s: %v", key, rep.Speedups)
+		}
+	}
+	same, ok := rep.SingleTileIdentical[fmt.Sprintf("M=%d", scales[0].M)]
+	if !ok {
+		t.Fatalf("missing single-tile identity witness: %v", rep.SingleTileIdentical)
+	}
+	if !same {
+		t.Fatal("single-tile sharded solve diverged from the global solver")
+	}
+	if v := rep.HotPathAllocs["Ledger.Benefit/tile-view"]; v != 0 {
+		t.Fatalf("tile-view Benefit allocates: %.2f allocs/op", v)
+	}
+	if err := rep.ShardRegression(); err != nil {
+		t.Fatalf("unexpected regression: %v", err)
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ShardReport
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+}
+
+// TestShardRegressionDetection: a diverged single-tile entry or an
+// allocating hot path must turn into an error for the CI bench-smoke.
+func TestShardRegressionDetection(t *testing.T) {
+	rep := &ShardReport{
+		SingleTileIdentical: map[string]bool{"M=90": true},
+		HotPathAllocs:       map[string]float64{"Ledger.Benefit/tile-view": 0},
+	}
+	if err := rep.ShardRegression(); err != nil {
+		t.Fatalf("clean report flagged: %v", err)
+	}
+	rep.SingleTileIdentical["M=90"] = false
+	if err := rep.ShardRegression(); err == nil {
+		t.Fatal("divergence not flagged")
+	}
+	rep.SingleTileIdentical["M=90"] = true
+	rep.HotPathAllocs["Ledger.Benefit/tile-view"] = 2
+	if err := rep.ShardRegression(); err == nil {
+		t.Fatal("allocating hot path not flagged")
+	}
+}

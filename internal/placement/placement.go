@@ -79,6 +79,12 @@ type Options struct {
 	// Result.Evaluations drops (the same argument as the game engine's
 	// dirty-set scheduler).
 	ItemLocalGains bool
+	// MaxCommits caps the number of committed decisions (0 =
+	// unlimited). The greedy stops as soon as the cap is reached; the
+	// committed prefix is identical to the uncapped run's first
+	// MaxCommits decisions. The sharded solver's reconcile pass uses it
+	// to bound the final global re-commit sweep.
+	MaxCommits int
 	// Obs receives the engine's telemetry: per-commit trace events
 	// (when a tracer is attached), a commit-gain histogram, and the
 	// final Result cross-wired into counters. nil disables all of it;
@@ -158,6 +164,10 @@ func GreedyOpt(cands []Candidate, o Oracle, opt Options) Result {
 		res.TotalGain += realized
 		res.Chosen = append(res.Chosen, c)
 		traceCommit(opt.Obs, o, &res, c, realized, bestRatio)
+		if opt.MaxCommits > 0 && len(res.Chosen) >= opt.MaxCommits {
+			publishResult(opt.Obs, &res)
+			return res
+		}
 		last := len(remaining) - 1
 		remaining[bestIdx], orig[bestIdx] = remaining[last], orig[last]
 		remaining, orig = remaining[:last], orig[:last]
@@ -226,6 +236,9 @@ func LazyGreedyOpt(cands []Candidate, o Oracle, opt Options) Result {
 		res.TotalGain += realized
 		res.Chosen = append(res.Chosen, top.c)
 		traceCommit(opt.Obs, o, &res, top.c, realized, top.ratio)
+		if opt.MaxCommits > 0 && len(res.Chosen) >= opt.MaxCommits {
+			break
+		}
 		round++
 		if itemRound != nil {
 			itemRound[top.c.Item]++

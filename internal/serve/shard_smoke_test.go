@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"idde/internal/core"
+)
+
+// TestSoakShardedPlanRecoversFromOutage is the geo-sharded serving
+// smoke test: a strategy produced by the 4-tile sharded solver must
+// boot the data plane, survive a mid-run correlated outage of its
+// most-fetched-from server, and pass the same recovery gate the global
+// plan does — nothing dropped, breaker tripped, re-planner healed the
+// placement within the streak budget.
+func TestSoakShardedPlanRecoversFromOutage(t *testing.T) {
+	in := genInstance(t, 12, 80, 4, 11)
+	opt := core.DefaultOptions()
+	opt.Shards = 4
+	res := core.Solve(in, opt)
+	if res.Shard == nil || res.Shard.Tiles != 4 {
+		t.Fatalf("expected a 4-tile sharded solve, got %+v", res.Shard)
+	}
+	if err := in.Check(res.Strategy); err != nil {
+		t.Fatalf("sharded strategy invalid: %v", err)
+	}
+	st := res.Strategy
+
+	sopt := testOptions(3)
+	sopt.Campaign = outageCampaign(in, st)
+	rep, err := Run(context.Background(), in, st, sopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dropped != 0 {
+		t.Errorf("dropped = %d, want 0", rep.Dropped)
+	}
+	if rep.BreakerOpens == 0 {
+		t.Error("outage never tripped a breaker")
+	}
+	if rep.Replans == 0 {
+		t.Error("re-planner never ran")
+	}
+	if rep.MaxDegradedStreak > 8 {
+		t.Errorf("degraded streak %d rounds exceeds heal budget", rep.MaxDegradedStreak)
+	}
+	if !rep.HealedAtEnd {
+		t.Error("soak ended unhealed")
+	}
+}

@@ -1,0 +1,323 @@
+// Package shard partitions an IDDE instance into coverage-connected
+// spatial tiles and solves both phases per tile — Phase 1 dirty-set
+// best-response and Phase 2 CELF on each tile's own worker, ledger,
+// arena rows and tracer shard — followed by a bounded deterministic
+// halo-exchange stage that re-equilibrates cross-tile interference and
+// a final global CELF reconcile pass for boundary replicas.
+//
+// The decomposition is sound because interference is spatially local:
+// user j's Eq. 12 benefit depends only on the occupants of channels of
+// servers in V_j (its coverage set), so users whose whole interference
+// neighbourhood lives inside one tile are untouched by other tiles'
+// moves. Users and servers near tile boundaries are not independent —
+// they are exactly the frontier/halo sets the exchange stage sweeps.
+//
+// Determinism contract: the partition is a pure function of the
+// topology and the tile count (no map iteration, no scheduling
+// dependence); tile solves write disjoint state and merge in tile
+// order; the halo sweeps run in fixed tile order; and every candidate
+// enumeration is ascending. A single-tile sharded solve is bit-identical
+// to the global solver, and multi-tile results are independent of
+// GOMAXPROCS and the worker cap (pinned by shard_differential_test.go
+// at the repo root).
+package shard
+
+import (
+	"sort"
+
+	"idde/internal/geo"
+	"idde/internal/model"
+	"idde/internal/units"
+)
+
+// Tile is one partition cell: a set of servers plus the users it owns.
+type Tile struct {
+	ID int
+	// Servers lists the tile's server ids, ascending. Tiles partition
+	// the server set.
+	Servers []int
+	// Users lists the user ids owned by the tile, ascending. A user is
+	// owned by the tile of its nearest covering server (ties by server
+	// id); users covered by nobody fall to tile 0 — they can never move
+	// in Phase 1 and request latencies independent of ownership.
+	Users []int
+}
+
+// Partition is a deterministic tiling of an instance.
+type Partition struct {
+	Tiles []Tile
+	// ServerTile[i] is the tile owning server i.
+	ServerTile []int32
+	// Owner[j] is the tile owning user j.
+	Owner []int32
+	// Frontier[i] reports whether server i's footprint crosses the
+	// tiling: it covers at least one user owned by another tile.
+	Frontier []bool
+	// Halo lists, ascending, every user covered by a frontier server —
+	// the users whose interference neighbourhood straddles a boundary.
+	Halo []int
+}
+
+// NumFrontier counts frontier servers.
+func (p *Partition) NumFrontier() int {
+	n := 0
+	for _, f := range p.Frontier {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+// MakePartition tiles the instance into (at most) the requested number
+// of tiles. Servers whose coverage disks overlap are grouped into
+// connected components via the geo spatial hash; components are then
+// deterministically merged (smallest first) or split (largest first,
+// along the longer bounding-box axis) until the target count is reached.
+// Requesting more tiles than servers yields one tile per server.
+func MakePartition(in *model.Instance, tiles int) *Partition {
+	n := in.N()
+	if tiles < 1 {
+		tiles = 1
+	}
+	if tiles > n {
+		tiles = n
+	}
+
+	comps := coverageComponents(in)
+	comps = adjustComponents(in, comps, tiles)
+
+	// Canonical tile order: ascending minimum server id. Each
+	// component's server list is sorted ascending.
+	sort.Slice(comps, func(a, b int) bool { return comps[a][0] < comps[b][0] })
+
+	p := &Partition{
+		Tiles:      make([]Tile, len(comps)),
+		ServerTile: make([]int32, n),
+		Owner:      make([]int32, in.M()),
+		Frontier:   make([]bool, n),
+	}
+	for t, servers := range comps {
+		p.Tiles[t] = Tile{ID: t, Servers: servers}
+		for _, i := range servers {
+			p.ServerTile[i] = int32(t)
+		}
+	}
+
+	// Ownership: nearest covering server, ties by server id. Coverage
+	// lists are ascending, so strict < keeps the lowest id on ties.
+	top := in.Top
+	for j := 0; j < in.M(); j++ {
+		cov := top.Coverage[j]
+		if len(cov) == 0 {
+			p.Owner[j] = 0
+			continue
+		}
+		best := cov[0]
+		for _, i := range cov[1:] {
+			if top.Dist[i][j] < top.Dist[best][j] {
+				best = i
+			}
+		}
+		p.Owner[j] = p.ServerTile[best]
+	}
+	for j := 0; j < in.M(); j++ {
+		t := p.Owner[j]
+		p.Tiles[t].Users = append(p.Tiles[t].Users, j)
+	}
+
+	// Frontier servers and the halo they induce.
+	for i := 0; i < n; i++ {
+		ti := p.ServerTile[i]
+		for _, j := range top.Covered[i] {
+			if p.Owner[j] != ti {
+				p.Frontier[i] = true
+				break
+			}
+		}
+	}
+	if len(p.Tiles) > 1 {
+		inHalo := make([]bool, in.M())
+		for i := 0; i < n; i++ {
+			if !p.Frontier[i] {
+				continue
+			}
+			for _, j := range top.Covered[i] {
+				inHalo[j] = true
+			}
+		}
+		for j, h := range inHalo {
+			if h {
+				p.Halo = append(p.Halo, j)
+			}
+		}
+	}
+	return p
+}
+
+// coverageComponents unions servers whose coverage disks overlap
+// (center distance ≤ r_a + r_b) into connected components, using the
+// spatial hash for the neighbour queries. Returned components hold
+// ascending server ids and are themselves ordered by minimum id.
+func coverageComponents(in *model.Instance) [][]int {
+	top := in.Top
+	n := in.N()
+	var rmax float64
+	for i := 0; i < n; i++ {
+		if r := float64(top.Servers[i].Radius); r > rmax {
+			rmax = r
+		}
+	}
+	cell := rmax
+	if cell <= 0 {
+		cell = 1
+	}
+	grid := geo.NewGrid(cell)
+	for i := 0; i < n; i++ {
+		grid.Insert(i, top.Servers[i].Pos)
+	}
+
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(x int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra // lower root wins: canonical representatives
+		}
+	}
+	for i := 0; i < n; i++ {
+		near := grid.Within(top.Servers[i].Pos, top.Servers[i].Radius+units.Meters(rmax))
+		sort.Ints(near) // Grid.Within order is unspecified
+		for _, o := range near {
+			if o <= i {
+				continue
+			}
+			if geo.Dist(top.Servers[i].Pos, top.Servers[o].Pos) <= top.Servers[i].Radius+top.Servers[o].Radius {
+				union(i, o)
+			}
+		}
+	}
+
+	members := make(map[int][]int, n)
+	var roots []int
+	for i := 0; i < n; i++ {
+		r := find(i)
+		if len(members[r]) == 0 {
+			roots = append(roots, r)
+		}
+		members[r] = append(members[r], i)
+	}
+	sort.Ints(roots)
+	comps := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		comps = append(comps, members[r]) // ascending: appended in id order
+	}
+	return comps
+}
+
+// adjustComponents merges or splits components to hit the target count.
+// Merging folds the smallest component (ties by min id) into the next
+// smallest; splitting cuts the largest component at the coordinate
+// median of its longer bounding-box axis. Both loops are deterministic.
+func adjustComponents(in *model.Instance, comps [][]int, target int) [][]int {
+	for len(comps) > target {
+		sortComps(comps)
+		merged := append(append([]int(nil), comps[0]...), comps[1]...)
+		sort.Ints(merged)
+		comps = append([][]int{merged}, comps[2:]...)
+	}
+	for len(comps) < target {
+		// Split the largest splittable component.
+		idx := -1
+		for c := range comps {
+			if len(comps[c]) < 2 {
+				continue
+			}
+			if idx < 0 || len(comps[c]) > len(comps[idx]) ||
+				(len(comps[c]) == len(comps[idx]) && comps[c][0] < comps[idx][0]) {
+				idx = c
+			}
+		}
+		if idx < 0 {
+			break // nothing splittable: fewer tiles than requested
+		}
+		a, b := splitComponent(in, comps[idx])
+		comps = append(comps[:idx], comps[idx+1:]...)
+		comps = append(comps, a, b)
+	}
+	return comps
+}
+
+// sortComps orders components by (size asc, min id asc).
+func sortComps(comps [][]int) {
+	sort.Slice(comps, func(a, b int) bool {
+		if len(comps[a]) != len(comps[b]) {
+			return len(comps[a]) < len(comps[b])
+		}
+		return comps[a][0] < comps[b][0]
+	})
+}
+
+// splitComponent bisects a component's servers at the median of the
+// longer bounding-box axis, ties broken by the other coordinate then by
+// id — a total order, so the cut is unique.
+func splitComponent(in *model.Instance, servers []int) (a, b []int) {
+	top := in.Top
+	minX, maxX := top.Servers[servers[0]].Pos.X, top.Servers[servers[0]].Pos.X
+	minY, maxY := top.Servers[servers[0]].Pos.Y, top.Servers[servers[0]].Pos.Y
+	for _, i := range servers[1:] {
+		p := top.Servers[i].Pos
+		minX, maxX = minf(minX, p.X), maxf(maxX, p.X)
+		minY, maxY = minf(minY, p.Y), maxf(maxY, p.Y)
+	}
+	byX := maxX-minX >= maxY-minY
+	order := append([]int(nil), servers...)
+	sort.Slice(order, func(u, v int) bool {
+		pu, pv := top.Servers[order[u]].Pos, top.Servers[order[v]].Pos
+		ku, kv := pu.X, pv.X
+		su, sv := pu.Y, pv.Y
+		if !byX {
+			ku, kv, su, sv = pu.Y, pv.Y, pu.X, pv.X
+		}
+		if ku != kv {
+			return ku < kv
+		}
+		if su != sv {
+			return su < sv
+		}
+		return order[u] < order[v]
+	})
+	half := (len(order) + 1) / 2
+	a = append([]int(nil), order[:half]...)
+	b = append([]int(nil), order[half:]...)
+	sort.Ints(a)
+	sort.Ints(b)
+	return a, b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
