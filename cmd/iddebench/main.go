@@ -28,6 +28,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -79,6 +80,7 @@ func realMain() error {
 		shardMaxM = flag.Int("shardmaxm", 0, "skip sharding scales with more than this many users (0 = full ladder; CI smoke uses a low cap)")
 		memMaxN   = flag.Int("memmaxn", 0, "skip aggregate-row memory scales with more than this many servers (0 = full ladder)")
 		memMaxM   = flag.Int("memmaxm", 0, "skip solve-allocation memory scales with more than this many users (0 = full ladder)")
+		instMaxM  = flag.Int("instmaxm", 0, "skip instance-layout memory scales with more than this many users (0 = full ladder; CI smoke caps out the M=100000 rung)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		obsAddr   = flag.String("obs", "", "serve live pprof/expvar//metrics on this address for the duration of the run (e.g. 127.0.0.1:6060)")
@@ -118,7 +120,7 @@ func realMain() error {
 	} else if *perf2JSON != "" {
 		err = runPerf2(*perf2JSON, *perfTime, *seed, *perfMaxM)
 	} else if *memJSON != "" {
-		err = runMem(*memJSON, *perfTime, *seed, *memMaxN, *memMaxM)
+		err = runMem(*memJSON, *perfTime, *seed, *memMaxN, *memMaxM, *instMaxM)
 	} else if *serveJSON != "" {
 		err = runServe(*serveJSON, *seed, *serveRPS, *serveDur, *serveMaxM)
 	} else if *shardJSON != "" {
@@ -278,13 +280,14 @@ func runShard(path string, seed uint64, maxM int) error {
 }
 
 // runMem regenerates the tracked memory/allocation baseline. A guarded
-// hot path that allocates in steady state is an error (nonzero exit),
-// so the CI bench-smoke fails on regressions.
-func runMem(path string, budget time.Duration, seed uint64, maxN, maxM int) error {
+// hot path that allocates in steady state, a sparse solve diverging
+// from the dense reference, or an instance-layout footprint regression
+// is an error (nonzero exit), so the CI bench-smoke fails on all three.
+func runMem(path string, budget time.Duration, seed uint64, maxN, maxM, instMaxM int) error {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
-	rep, err := perfbench.RunMem(budget, seed, maxN, maxM, logf)
+	rep, err := perfbench.RunMem(budget, seed, maxN, maxM, instMaxM, logf)
 	if err != nil {
 		return err
 	}
@@ -305,8 +308,13 @@ func runMem(path string, budget time.Duration, seed uint64, maxN, maxM int) erro
 			fmt.Printf("%s: %.1fx fewer allocs than previous baseline\n", key, r)
 		}
 	}
+	for _, p := range perfbench.InstanceScales() {
+		if r, ok := rep.Reductions[fmt.Sprintf("InstanceBytes/M=%d", p.M)]; ok {
+			fmt.Printf("instance gain storage at M=%d: %.1fx smaller than the dense-era matrices\n", p.M, r)
+		}
+	}
 	fmt.Printf("wrote %s (%d records)\n", path, len(rep.Records))
-	return rep.HotPathRegression()
+	return errors.Join(rep.HotPathRegression(), rep.InstanceRegression())
 }
 
 func run(fig, reps int, seed uint64, ipBudget time.Duration, noIP bool, outDir string, plot bool, scope *obs.Scope) error {

@@ -45,7 +45,7 @@ func nearestAllocation(in *model.Instance) model.Allocation {
 	for j := 0; j < in.M(); j++ {
 		best, bestG := -1, -1.0
 		for _, i := range in.Top.Coverage[j] {
-			if g := in.Gain[i][j]; g > bestG {
+			if g := in.GainAt(i, j); g > bestG {
 				best, bestG = i, g
 			}
 		}

@@ -132,7 +132,7 @@ func TestCDPAllocationIsNearestServer(t *testing.T) {
 			continue
 		}
 		for _, i := range in.Top.Coverage[j] {
-			if in.Gain[i][j] > in.Gain[a.Server][j]+1e-15 {
+			if in.GainAt(i, j) > in.GainAt(a.Server, j)+1e-15 {
 				t.Errorf("user %d allocated to v%d but v%d has higher gain", j, a.Server, i)
 			}
 		}

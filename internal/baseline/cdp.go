@@ -35,7 +35,7 @@ func (a *CDP) Solve(in *model.Instance, seed uint64) model.Strategy {
 	for j := 0; j < in.M(); j++ {
 		best, bestG := -1, -1.0
 		for _, i := range in.Top.Coverage[j] {
-			if g := in.Gain[i][j]; g > bestG {
+			if g := in.GainAt(i, j); g > bestG {
 				best, bestG = i, g
 			}
 		}

@@ -72,6 +72,17 @@ type Options struct {
 	// an intentionally all-zero configuration must carry
 	// placement.Options.Set (see placement.NewOptions) to be preserved.
 	Placement placement.Options
+	// DenseInstance solves on the dense-materialized sibling of the
+	// instance (model.Instance.Densified): every gain read hits an N×M
+	// matrix instead of the CSR rows. The arithmetic is identical — the
+	// sparse layout recomputes out-of-support gains exactly — so results
+	// are bit-identical; this is the reference mode the sparse-vs-dense
+	// differential suite pins, and a memory-for-speed escape hatch on
+	// small instances.
+	DenseInstance bool
+	// NoSweepSkip disables the sharded halo-exchange's clean-tile skip
+	// (shard.Config.NoSweepSkip). Ignored when Shards is 0.
+	NoSweepSkip bool
 	// Shards switches Solve to the geo-sharded solver (internal/shard):
 	// the instance is partitioned into that many coverage-connected
 	// tiles, both phases run per tile on their own worker/ledger/arena,
@@ -186,6 +197,9 @@ type Result struct {
 // with the dynamics stats. Perf baselines use it to time Phase 1
 // without Phase 2 noise; Solve goes through the same path.
 func SolvePhase1(in *model.Instance, opt Options) (model.Allocation, game.Stats) {
+	if opt.DenseInstance {
+		in = in.Densified()
+	}
 	opt.Game = resolveGameOptions(opt.Game)
 	sc := scopeOf(opt)
 	opt.Game.Obs = sc
@@ -248,6 +262,9 @@ func publishAggStats(sc *obs.Scope, l *model.Ledger) {
 
 // Solve runs IDDE-G on the instance.
 func Solve(in *model.Instance, opt Options) *Result {
+	if opt.DenseInstance {
+		in = in.Densified()
+	}
 	if opt.Shards > 0 {
 		return solveSharded(in, opt)
 	}

@@ -168,8 +168,8 @@ func TestInterferenceAwareBeatsNearestAllocation(t *testing.T) {
 	for j := 0; j < in.M(); j++ {
 		best, bestG := -1, -1.0
 		for _, i := range in.Top.Coverage[j] {
-			if in.Gain[i][j] > bestG {
-				best, bestG = i, in.Gain[i][j]
+			if g := in.GainAt(i, j); g > bestG {
+				best, bestG = i, g
 			}
 		}
 		naive[j] = model.Alloc{Server: best, Channel: 0}

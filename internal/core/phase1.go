@@ -126,7 +126,7 @@ func lemma2T(in *model.Instance, l *model.Ledger, j int) float64 {
 	var bw = in.Top.Servers[0].Bandwidth
 	found := false
 	for _, i := range in.Top.Coverage[j] {
-		if g := in.Gain[i][j]; g > bestG {
+		if g := in.GainAt(i, j); g > bestG {
 			bestG = g
 			bw = in.Top.Servers[i].Bandwidth
 		}

@@ -25,6 +25,7 @@ func solveSharded(in *model.Instance, opt Options) *Result {
 		NaiveLatency:      opt.NaiveLatency,
 		CohortBatch:       opt.CohortBatch,
 		AggRowBudget:      opt.AggRowBudget,
+		NoSweepSkip:       opt.NoSweepSkip,
 		Obs:               sc,
 	}
 	sres := shard.Solve(in, cfg)

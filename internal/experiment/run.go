@@ -72,7 +72,12 @@ type SetResult struct {
 // repetition, using the §4.2 defaults.
 func BuildInstance(p Params, seed uint64) (*model.Instance, error) {
 	s := rng.New(seed)
-	top, err := topology.Generate(topology.DefaultGen(p.N, p.M, p.Density), s.Split("topology"))
+	cfg := topology.DefaultGen(p.N, p.M, p.Density)
+	if p.RegionScale > 0 && p.RegionScale != 1 {
+		cfg.Region.MaxX = cfg.Region.MinX + cfg.Region.Width()*p.RegionScale
+		cfg.Region.MaxY = cfg.Region.MinY + cfg.Region.Height()*p.RegionScale
+	}
+	top, err := topology.Generate(cfg, s.Split("topology"))
 	if err != nil {
 		return nil, err
 	}

@@ -16,9 +16,19 @@ type Params struct {
 	M       int     // users
 	K       int     // data items
 	Density float64 // links per server
+	// RegionScale linearly scales the deployment region's width and
+	// height (0 or 1 = the fixed §4.2 CBD extent). The Table 2 sets keep
+	// it at the default; the M≥10⁵ scaling rungs grow the region with
+	// sqrt(N/125) so server spacing — and with it coverage overlap and
+	// the sparse layout's row density — stays at the EUA-like level
+	// instead of collapsing into an all-pairs dense instance.
+	RegionScale float64
 }
 
 func (p Params) String() string {
+	if p.RegionScale > 0 && p.RegionScale != 1 {
+		return fmt.Sprintf("N=%d M=%d K=%d density=%.1f region=%.2fx", p.N, p.M, p.K, p.Density, p.RegionScale)
+	}
 	return fmt.Sprintf("N=%d M=%d K=%d density=%.1f", p.N, p.M, p.K, p.Density)
 }
 

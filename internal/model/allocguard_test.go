@@ -64,6 +64,45 @@ func TestBenefitBudgetedResidentHitZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestGainRowZeroAllocs pins the sparse gain accessors at zero
+// allocations per read: obtaining a row, binary-searched in-support
+// reads, and the out-of-support recompute fallback must all stay off
+// the heap — GainRow is a value and the fallback is pure arithmetic.
+func TestGainRowZeroAllocs(t *testing.T) {
+	in := genInstance(t, 12, 90, 5, 3)
+	sp, err := NewSparse(in.Top, in.Wl, in.Radio, in.Top.MaxRadius())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, _ := sp.GainRow(0).Support()
+	if len(cols) == 0 || len(cols) == sp.M() {
+		t.Fatalf("tight-cutoff row 0 has trivial support %d of %d", len(cols), sp.M())
+	}
+	inSupport := int(cols[len(cols)/2])
+	outSupport := -1
+	seen := make([]bool, sp.M())
+	for _, c := range cols {
+		seen[c] = true
+	}
+	for j := range seen {
+		if !seen[j] {
+			outSupport = j
+			break
+		}
+	}
+	if outSupport < 0 {
+		t.Fatal("no out-of-support column to probe")
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		r := sp.GainRow(0)
+		_ = r.At(inSupport)
+		_ = r.At(outSupport)
+		_ = sp.GainAt(1%sp.N(), outSupport)
+	}); avg != 0 {
+		t.Fatalf("sparse gain reads allocate %.2f allocs/op, want 0", avg)
+	}
+}
+
 func TestCohortGainOfSteadyStateZeroAllocs(t *testing.T) {
 	l, alloc, _, _ := guardFixture(t)
 	in := l.in

@@ -15,7 +15,10 @@ package model
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
+	"idde/internal/geo"
 	"idde/internal/radio"
 	"idde/internal/topology"
 	"idde/internal/units"
@@ -23,39 +26,397 @@ import (
 )
 
 // Instance is an immutable IDDE problem: a topology, a workload over it
-// and the radio propagation model, with the server×user gain matrix
+// and the radio propagation model, with the server×user channel gains
 // precomputed (both the serving gain g_{i,x,j} and the inter-cell
-// interference terms g_{i,x,t} of Eq. 2 read from it).
+// interference terms g_{i,x,t} of Eq. 2 read from them).
+//
+// # Gain storage
+//
+// The paper's gain depends only on the (server, user) distance, not on
+// the channel index, so conceptually a 2-D N×M matrix suffices — but a
+// dense matrix is an O(N·M) wall at the M≥10⁵ rungs. Gains are instead
+// stored in a CSR spatial layout: per server, a sorted column-index +
+// value row holding every user within the interference cutoff radius
+// of that server, built from the geo spatial hash. Reads outside a
+// row's support fall back to recomputing the gain from the positions —
+// the gain is a pure function of the distance, so the fallback is
+// bit-identical to what a dense matrix would have stored, and every
+// evaluator result is independent of the cutoff. The cutoff only
+// decides how much is precomputed (speed) versus recomputed (memory).
+//
+// New picks whichever layout is smaller for the instance at hand: on
+// compact Table 2-scale regions the cutoff disk spans the whole map and
+// the dense matrix wins; on region-scaled large instances the CSR rows
+// are a few percent of M and the dense matrix never materializes.
 type Instance struct {
 	Top   *topology.Topology
 	Wl    *workload.Workload
 	Radio radio.Model
-	// Gain[i][j] is the channel gain between server i and user j. The
-	// paper's gain depends only on (server, user) distance, not on the
-	// channel index, so a 2-D matrix suffices.
-	Gain [][]float64
+
+	// CSR gain rows: cols[rowStart[i]:rowStart[i+1]] lists, ascending,
+	// the users within cutoff of server i; vals holds their gains.
+	rowStart []int64
+	cols     []int32
+	vals     []float64
+	// cutoff is the interference cutoff radius the rows were built
+	// with.
+	cutoff units.Meters
+	// dense is the reference layout: the full N×M matrix. Non-nil
+	// exactly when the instance is in dense mode (then the CSR slices
+	// are nil).
+	dense [][]float64
 }
 
-// New validates the pieces against each other and precomputes gains.
+// DefaultCutoffFactor scales the maximum coverage radius into the
+// default interference cutoff. Every gain the solvers read in practice
+// is for a (server i, user t) pair with d(i,t) ≤ r_i + 2·r_max: the
+// receiver covers the probed user j, the interfering source o covers j
+// too, and t is covered by o — three hops of at most r_max each beyond
+// the receiver's own disk. A cutoff of 3·r_max therefore keeps every
+// in-practice read inside the precomputed rows; reads beyond it (only
+// reachable through arbitrary-caller hypotheticals) hit the exact
+// recompute fallback.
+const DefaultCutoffFactor = 3
+
+// New validates the pieces against each other and precomputes gains,
+// choosing the smaller of the sparse CSR and dense layouts (see the
+// Instance doc). The two layouts are read-for-read identical, so the
+// choice is invisible to every consumer.
 func New(top *topology.Topology, wl *workload.Workload, rm radio.Model) (*Instance, error) {
-	if top == nil || wl == nil {
-		return nil, fmt.Errorf("model: nil topology or workload")
-	}
-	if err := wl.Validate(top.N(), top.M()); err != nil {
+	in, err := NewSparse(top, wl, rm, 0)
+	if err != nil {
 		return nil, err
 	}
-	if top.Dist == nil {
-		return nil, fmt.Errorf("model: topology not finalized")
-	}
-	in := &Instance{Top: top, Wl: wl, Radio: rm}
-	in.Gain = make([][]float64, top.N())
-	for i := range in.Gain {
-		in.Gain[i] = make([]float64, top.M())
-		for j := range in.Gain[i] {
-			in.Gain[i][j] = rm.Gain(top.Dist[i][j])
-		}
+	// 12 bytes per stored entry (int32 col + float64 val) against 8 per
+	// dense cell: densify when the rows would not actually be smaller.
+	if 12*in.NNZ() >= 8*int64(top.N())*int64(top.M()) {
+		return in.Densified(), nil
 	}
 	return in, nil
+}
+
+// NewSparse builds an instance with the CSR gain layout under an
+// explicit interference cutoff radius (0 = DefaultCutoffFactor times
+// the maximum coverage radius). A cutoff smaller than the largest
+// coverage radius is rejected: serving-link gains must come from the
+// precomputed rows. NewSparse never falls back to the dense layout —
+// callers that want the automatic choice use New.
+func NewSparse(top *topology.Topology, wl *workload.Workload, rm radio.Model, cutoff units.Meters) (*Instance, error) {
+	if err := validateInstance(top, wl); err != nil {
+		return nil, err
+	}
+	rmax := top.MaxRadius()
+	if cutoff == 0 {
+		cutoff = DefaultCutoffFactor * rmax
+	}
+	if cutoff < rmax {
+		return nil, fmt.Errorf("model: interference cutoff %v is smaller than the largest coverage radius %v", cutoff, rmax)
+	}
+	in := &Instance{Top: top, Wl: wl, Radio: rm, cutoff: cutoff}
+	in.buildCSR()
+	return in, nil
+}
+
+// NewDense builds an instance with the dense N×M reference layout.
+func NewDense(top *topology.Topology, wl *workload.Workload, rm radio.Model) (*Instance, error) {
+	if err := validateInstance(top, wl); err != nil {
+		return nil, err
+	}
+	in := &Instance{Top: top, Wl: wl, Radio: rm}
+	in.dense = denseGains(top, rm)
+	return in, nil
+}
+
+func validateInstance(top *topology.Topology, wl *workload.Workload) error {
+	if top == nil || wl == nil {
+		return fmt.Errorf("model: nil topology or workload")
+	}
+	if err := wl.Validate(top.N(), top.M()); err != nil {
+		return err
+	}
+	if !top.Finalized() {
+		return fmt.Errorf("model: topology not finalized")
+	}
+	return nil
+}
+
+// buildCSR fills the CSR rows: per server, the users within cutoff,
+// ascending, with their gains. Rows are computed independently (one
+// goroutine per slice of servers) and assembled by prefix sum, so the
+// result is identical across GOMAXPROCS settings.
+func (in *Instance) buildCSR() {
+	top := in.Top
+	n, m := top.N(), top.M()
+	in.rowStart = make([]int64, n+1)
+	if n == 0 || m == 0 {
+		return
+	}
+	cell := float64(in.cutoff) / 2
+	if cell <= 0 {
+		cell = 1
+	}
+	grid := geo.NewGrid(cell)
+	for j := 0; j < m; j++ {
+		grid.Insert(j, top.Users[j].Pos)
+	}
+
+	// Pass 1: per-row supports, in parallel. Grid.Within compares
+	// squared distances; the stored predicate is the same hypot ≤ cutoff
+	// that the fallback recompute would see, so a boundary pair is
+	// either in the row or served by the fallback — never both, never
+	// neither (query with a hair of margin, filter exactly).
+	rows := make([][]int32, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				us := grid.Within(top.Servers[i].Pos, in.cutoff+1e-6)
+				row := make([]int32, 0, len(us))
+				for _, j := range us {
+					if float64(top.Distance(i, j)) <= float64(in.cutoff) {
+						row = append(row, int32(j))
+					}
+				}
+				sortInt32s(row)
+				rows[i] = row
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for i, row := range rows {
+		in.rowStart[i+1] = in.rowStart[i] + int64(len(row))
+	}
+	nnz := in.rowStart[n]
+	in.cols = make([]int32, nnz)
+	in.vals = make([]float64, nnz)
+
+	// Pass 2: gains, in parallel over the same deterministic rows.
+	wg = sync.WaitGroup{}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				off := in.rowStart[i]
+				for idx, j := range rows[i] {
+					in.cols[off+int64(idx)] = j
+					in.vals[off+int64(idx)] = in.Radio.Gain(top.Distance(i, int(j)))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// sortInt32s sorts a row support ascending in place — a shell sort, so
+// the parallel build makes no per-row closure allocations.
+func sortInt32s(a []int32) {
+	for gap := len(a) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(a); i++ {
+			v := a[i]
+			j := i
+			for ; j >= gap && a[j-gap] > v; j -= gap {
+				a[j] = a[j-gap]
+			}
+			a[j] = v
+		}
+	}
+}
+
+// denseGains materializes the full N×M gain matrix. The expression is
+// the same Radio.Gain ∘ Distance composition the CSR build and the
+// sparse fallback use, so every cell is bit-identical across layouts.
+func denseGains(top *topology.Topology, rm radio.Model) [][]float64 {
+	n, m := top.N(), top.M()
+	g := make([][]float64, n)
+	flat := make([]float64, n*m)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				row := flat[i*m : (i+1)*m : (i+1)*m]
+				for j := 0; j < m; j++ {
+					row[j] = rm.Gain(top.Distance(i, j))
+				}
+				g[i] = row
+			}
+		}(w)
+	}
+	wg.Wait()
+	return g
+}
+
+// Sparse reports whether the instance uses the CSR gain layout.
+func (in *Instance) Sparse() bool { return in.dense == nil }
+
+// Cutoff reports the interference cutoff radius of a sparse instance
+// (0 for dense instances).
+func (in *Instance) Cutoff() units.Meters {
+	if in.dense != nil {
+		return 0
+	}
+	return in.cutoff
+}
+
+// NNZ reports the number of stored gain entries: Σ_i |row_i| for the
+// CSR layout, N·M for the dense one.
+func (in *Instance) NNZ() int64 {
+	if in.dense != nil {
+		return int64(in.N()) * int64(in.M())
+	}
+	return in.rowStart[len(in.rowStart)-1]
+}
+
+// Densified returns an instance with the dense reference layout over
+// the same topology, workload and radio model. A dense instance
+// returns itself; a sparse one gets a sibling whose matrix holds, for
+// every (i, j), exactly the value GainAt would produce — inside the
+// cutoff the stored row value, outside it the recomputed fallback,
+// which are the same expression.
+func (in *Instance) Densified() *Instance {
+	if in.dense != nil {
+		return in
+	}
+	out := &Instance{Top: in.Top, Wl: in.Wl, Radio: in.Radio}
+	out.dense = denseGains(in.Top, in.Radio)
+	return out
+}
+
+// GainAt reports the channel gain between server i and user j. Sparse
+// reads binary-search the row support and fall back to recomputing the
+// gain from the distance on a miss — bit-identical to the dense cell,
+// since gain is a pure function of distance.
+func (in *Instance) GainAt(i, j int) float64 {
+	if in.dense != nil {
+		return in.dense[i][j]
+	}
+	cols := in.cols[in.rowStart[i]:in.rowStart[i+1]]
+	lo, hi := 0, len(cols)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(cols[mid]) < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(cols) && int(cols[lo]) == j {
+		return in.vals[in.rowStart[i]+int64(lo)]
+	}
+	return in.Radio.Gain(in.Top.Distance(i, j))
+}
+
+// GainRow is an iterable view of one server's gain row. It is a plain
+// value (no allocation to obtain or hold one) shared across layouts:
+// dense rows expose the matrix row, sparse rows expose the CSR support
+// with an O(log width) point lookup and the exact recompute fallback
+// for out-of-support columns.
+type GainRow struct {
+	in    *Instance
+	i     int32
+	cols  []int32
+	vals  []float64
+	dense []float64
+}
+
+// GainRow returns server i's gain row.
+func (in *Instance) GainRow(i int) GainRow {
+	if in.dense != nil {
+		return GainRow{in: in, i: int32(i), dense: in.dense[i]}
+	}
+	return GainRow{
+		in:   in,
+		i:    int32(i),
+		cols: in.cols[in.rowStart[i]:in.rowStart[i+1]],
+		vals: in.vals[in.rowStart[i]:in.rowStart[i+1]],
+	}
+}
+
+// At reports the gain toward user j: O(1) dense, O(log width) sparse
+// with the recompute fallback outside the support.
+func (r GainRow) At(j int) float64 {
+	if r.dense != nil {
+		return r.dense[j]
+	}
+	lo, hi := 0, len(r.cols)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(r.cols[mid]) < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(r.cols) && r.cols[lo] == int32(j) {
+		return r.vals[lo]
+	}
+	return r.in.Radio.Gain(r.in.Top.Distance(int(r.i), j))
+}
+
+// Support reports the stored columns (ascending user ids) and their
+// gains. Dense rows report nil columns — every column is stored; use
+// Len and At.
+func (r GainRow) Support() (cols []int32, vals []float64) { return r.cols, r.vals }
+
+// Len reports the stored-entry count of the row.
+func (r GainRow) Len() int {
+	if r.dense != nil {
+		return len(r.dense)
+	}
+	return len(r.cols)
+}
+
+// LayoutStats describes an instance's gain-storage footprint.
+type LayoutStats struct {
+	// Sparse reports the active layout; Cutoff the interference cutoff
+	// radius of a sparse instance (0 for dense).
+	Sparse bool
+	Cutoff units.Meters
+	// NNZ is the stored entry count; Density its fraction of N·M.
+	NNZ     int64
+	Density float64
+	// Bytes is the gain-storage footprint of the active layout.
+	// DenseEquivBytes is what the dense era held for the same instance:
+	// the N×M gain matrix plus the N×M distance matrix the topology
+	// used to precompute (both float64).
+	Bytes           int64
+	DenseEquivBytes int64
+}
+
+// LayoutStats reports the instance's gain-storage accounting.
+func (in *Instance) LayoutStats() LayoutStats {
+	nm := int64(in.N()) * int64(in.M())
+	st := LayoutStats{
+		Sparse:          in.dense == nil,
+		NNZ:             in.NNZ(),
+		DenseEquivBytes: 16 * nm,
+	}
+	if nm > 0 {
+		st.Density = float64(st.NNZ) / float64(nm)
+	}
+	if st.Sparse {
+		st.Cutoff = in.cutoff
+		st.Bytes = 12*st.NNZ + 8*int64(len(in.rowStart))
+	} else {
+		st.Bytes = 8 * nm
+	}
+	return st
 }
 
 // N, M and K report the instance dimensions.

@@ -15,8 +15,8 @@ func allocateNearest(in *Instance) Allocation {
 	for j := 0; j < in.M(); j++ {
 		best, bestG := -1, -1.0
 		for _, i := range in.Top.Coverage[j] {
-			if in.Gain[i][j] > bestG {
-				best, bestG = i, in.Gain[i][j]
+			if g := in.GainAt(i, j); g > bestG {
+				best, bestG = i, g
 			}
 		}
 		if best >= 0 {

@@ -254,19 +254,19 @@ func (l *Ledger) aggMove(j int, from, to Alloc) {
 		if d == nil {
 			continue
 		}
-		gi := l.in.Gain[i]
+		gi := l.in.GainRow(i)
 		if from.Allocated() {
 			if off := d.srcOff[from.Server]; off >= 0 {
 				var sum float64
 				for _, t := range fromUsers {
-					sum += gi[t] * float64(l.in.Top.Users[t].Power)
+					sum += gi.At(t) * float64(l.in.Top.Users[t].Power)
 				}
 				d.vals[int(off)+from.Channel] = sum
 			}
 		}
 		if to.Allocated() {
 			if off := d.srcOff[to.Server]; off >= 0 {
-				d.vals[int(off)+to.Channel] += gi[j] * p
+				d.vals[int(off)+to.Channel] += gi.At(j) * p
 			}
 		}
 	}
@@ -322,7 +322,7 @@ func (l *Ledger) buildRowLocked(i int) *aggRowData {
 		d.srcOff[o] = off
 		off += int32(l.in.Top.Servers[o].Channels)
 	}
-	gi := l.in.Gain[i]
+	gi := l.in.GainRow(i)
 	for o := range l.users {
 		off := d.srcOff[o]
 		if off < 0 {
@@ -331,7 +331,7 @@ func (l *Ledger) buildRowLocked(i int) *aggRowData {
 		for x, us := range l.users[o] {
 			var sum float64
 			for _, t := range us {
-				sum += gi[t] * float64(l.in.Top.Users[t].Power)
+				sum += gi.At(t) * float64(l.in.Top.Users[t].Power)
 			}
 			d.vals[int(off)+x] = sum
 		}
@@ -473,6 +473,7 @@ func (l *Ledger) interCell(j int, a Alloc) units.Watts {
 // interCellRow reads the Eq. 2 inter-cell term out of a resident row.
 func (l *Ledger) interCellRow(j int, a Alloc, d *aggRowData) units.Watts {
 	cur := l.alloc[j]
+	gr := l.in.GainRow(a.Server)
 	var f float64
 	for _, o := range l.in.Top.Coverage[j] {
 		if o == a.Server || a.Channel >= len(l.users[o]) {
@@ -485,18 +486,17 @@ func (l *Ledger) interCellRow(j int, a Alloc, d *aggRowData) units.Watts {
 			// Walk the single (o, channel) cell directly; j can't be in
 			// it under the game's coverage-constrained moves, but skip
 			// it anyway for arbitrary-caller safety.
-			gi := l.in.Gain[a.Server]
 			for _, t := range l.users[o][a.Channel] {
 				if t == j {
 					continue
 				}
-				f += gi[t] * float64(l.in.Top.Users[t].Power)
+				f += gr.At(t) * float64(l.in.Top.Users[t].Power)
 			}
 			continue
 		}
 		f += d.vals[int(off)+a.Channel]
 		if cur.Server == o && cur.Channel == a.Channel {
-			f -= l.in.Gain[a.Server][j] * float64(l.in.Top.Users[j].Power)
+			f -= gr.At(j) * float64(l.in.Top.Users[j].Power)
 		}
 	}
 	if f < 0 {
@@ -527,7 +527,7 @@ func (l *Ledger) interCellFold(j int, a Alloc) units.Watts {
 	}
 	l.aggFallbacks.Add(1)
 	cur := l.alloc[j]
-	gi := l.in.Gain[a.Server]
+	gi := l.in.GainRow(a.Server)
 	var f float64
 	for _, o := range l.in.Top.Coverage[j] {
 		if o == a.Server || a.Channel >= len(l.users[o]) {
@@ -535,11 +535,11 @@ func (l *Ledger) interCellFold(j int, a Alloc) units.Watts {
 		}
 		var sum float64
 		for _, t := range l.users[o][a.Channel] {
-			sum += gi[t] * float64(l.in.Top.Users[t].Power)
+			sum += gi.At(t) * float64(l.in.Top.Users[t].Power)
 		}
 		f += sum
 		if cur.Server == o && cur.Channel == a.Channel {
-			f -= gi[j] * float64(l.in.Top.Users[j].Power)
+			f -= gi.At(j) * float64(l.in.Top.Users[j].Power)
 		}
 	}
 	if f < 0 {
@@ -551,6 +551,7 @@ func (l *Ledger) interCellFold(j int, a Alloc) units.Watts {
 // interCellNaive is the reference evaluator: walk every co-channel
 // occupant of every covering server (O(|V_j|·occupancy)).
 func (l *Ledger) interCellNaive(j int, a Alloc) units.Watts {
+	gr := l.in.GainRow(a.Server)
 	var f float64
 	for _, o := range l.in.Top.Coverage[j] {
 		if o == a.Server || a.Channel >= len(l.users[o]) {
@@ -560,7 +561,7 @@ func (l *Ledger) interCellNaive(j int, a Alloc) units.Watts {
 			if t == j {
 				continue
 			}
-			f += l.in.Gain[a.Server][t] * float64(l.in.Top.Users[t].Power)
+			f += gr.At(t) * float64(l.in.Top.Users[t].Power)
 		}
 	}
 	return units.Watts(f)
@@ -655,7 +656,7 @@ func (l *Ledger) SINR(j int, a Alloc) float64 {
 	if !a.Allocated() {
 		return 0
 	}
-	g := l.in.Gain[a.Server][j]
+	g := l.in.GainAt(a.Server, j)
 	return l.in.Radio.SINR(g, l.in.Top.Users[j].Power, l.intraOther(j, a), l.interCell(j, a))
 }
 
@@ -681,7 +682,7 @@ func (l *Ledger) RateIgnoringInterCell(j int, a Alloc) units.Rate {
 	if !a.Allocated() {
 		return 0
 	}
-	g := l.in.Gain[a.Server][j]
+	g := l.in.GainAt(a.Server, j)
 	sinr := l.in.Radio.SINR(g, l.in.Top.Users[j].Power, l.intraOther(j, a), 0)
 	b := l.in.Top.Servers[a.Server].Bandwidth
 	return radio.CapRate(radio.ShannonRate(b, sinr), l.in.Top.Users[j].MaxRate)
@@ -700,7 +701,7 @@ func (l *Ledger) Benefit(j int, a Alloc) float64 {
 	if !a.Allocated() {
 		return 0
 	}
-	g := l.in.Gain[a.Server][j]
+	g := l.in.GainAt(a.Server, j)
 	p := float64(l.in.Top.Users[j].Power)
 	intra := float64(l.intraOther(j, a)) + p // includes u_j per Eq. 12
 	den := g*intra + float64(l.interCell(j, a))

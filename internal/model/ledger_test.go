@@ -210,8 +210,8 @@ func TestMoreUsersLowerAverageRate(t *testing.T) {
 		for j := 0; j < in.M(); j++ {
 			best, bestG := -1, -1.0
 			for _, i := range in.Top.Coverage[j] {
-				if in.Gain[i][j] > bestG {
-					best, bestG = i, in.Gain[i][j]
+				if g := in.GainAt(i, j); g > bestG {
+					best, bestG = i, g
 				}
 			}
 			l.Move(j, Alloc{Server: best, Channel: j % in.Top.Servers[best].Channels})

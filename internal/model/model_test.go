@@ -92,14 +92,23 @@ func TestNewValidation(t *testing.T) {
 
 func TestGainMatrix(t *testing.T) {
 	in := tinyInstance(t)
-	// Gain[0][0]: distance 100, loss 3 → 1e-6.
-	if g := in.Gain[0][0]; math.Abs(g-1e-6) > 1e-15 {
-		t.Errorf("Gain[0][0] = %v", g)
+	// GainAt(0,0): distance 100, loss 3 → 1e-6.
+	if g := in.GainAt(0, 0); math.Abs(g-1e-6) > 1e-15 {
+		t.Errorf("GainAt(0,0) = %v", g)
 	}
 	// Closer server has higher gain for u1 (equidistant? u1 at 500: 500
 	// from v0, 100 from v1).
-	if in.Gain[1][1] <= in.Gain[0][1] {
+	if in.GainAt(1, 1) <= in.GainAt(0, 1) {
 		t.Error("nearer server should have higher gain")
+	}
+	// The row view agrees with the point reads, in and out of support.
+	for i := 0; i < in.N(); i++ {
+		r := in.GainRow(i)
+		for j := 0; j < in.M(); j++ {
+			if r.At(j) != in.GainAt(i, j) {
+				t.Errorf("GainRow(%d).At(%d) = %v, GainAt = %v", i, j, r.At(j), in.GainAt(i, j))
+			}
+		}
 	}
 }
 

@@ -1,0 +1,94 @@
+package perfbench
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestInstanceScalesTrajectory pins the instance-layout ladder: the
+// paper's 1:20 server:user ratio, the M=10⁵ top rung, and the
+// density-preserving sqrt(N/125) region growth.
+func TestInstanceScalesTrajectory(t *testing.T) {
+	ps := InstanceScales()
+	if len(ps) != 3 || ps[0].M != 10000 || ps[2].M != 100000 {
+		t.Fatalf("unexpected instance-layout ladder: %v", ps)
+	}
+	for _, p := range ps {
+		if p.N != p.M/20 || p.K != 5 || p.Density != 1.0 {
+			t.Fatalf("instance rung drifted from ladder conventions: %v", p)
+		}
+		want := math.Sqrt(float64(p.N) / 125)
+		if math.Abs(p.RegionScale-want) > 1e-12 {
+			t.Fatalf("rung N=%d region scale %v, want sqrt(N/125)=%v", p.N, p.RegionScale, want)
+		}
+	}
+}
+
+// TestRunMemSparseDifferentialSmoke runs the memory suite with every
+// ladder capped out, leaving exactly the pieces the CI bench-smoke
+// gates on: the sparse-vs-dense solve differential and the zero-alloc
+// hot-path guards. The full-budget ladder run happens in cmd/iddebench
+// -memjson.
+func TestRunMemSparseDifferentialSmoke(t *testing.T) {
+	rep, err := RunMem(time.Millisecond, 2022, 1, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.SparseDenseIdentical) != 2 {
+		t.Fatalf("expected default + tight cutoff differential entries, got %v", rep.SparseDenseIdentical)
+	}
+	for key, same := range rep.SparseDenseIdentical {
+		if !same {
+			t.Fatalf("sparse solve diverged from the dense reference at %s", key)
+		}
+	}
+	if v, ok := rep.HotPathAllocs["GainRow.At"]; !ok || v != 0 {
+		t.Fatalf("sparse gain-read guard missing or allocating: %v (present=%v)", v, ok)
+	}
+	if err := rep.InstanceRegression(); err != nil {
+		t.Fatalf("unexpected instance regression: %v", err)
+	}
+	if err := rep.HotPathRegression(); err != nil {
+		t.Fatalf("unexpected hot-path regression: %v", err)
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MemReport
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+}
+
+// TestInstanceRegressionDetection: a diverged differential, a densified
+// scaling rung, and a top rung below the footprint gate must each turn
+// into an error for the CI bench-smoke.
+func TestInstanceRegressionDetection(t *testing.T) {
+	rep := &MemReport{
+		SparseDenseIdentical: map[string]bool{"M=800/default-cutoff": true},
+		Reductions:           map[string]float64{"InstanceBytes/M=100000": 20},
+		Records: []MemRecord{
+			{Name: "InstanceLayout", N: 5000, M: 100000, SparseLayout: true},
+		},
+	}
+	if err := rep.InstanceRegression(); err != nil {
+		t.Fatalf("clean report flagged: %v", err)
+	}
+	rep.SparseDenseIdentical["M=800/default-cutoff"] = false
+	if err := rep.InstanceRegression(); err == nil {
+		t.Fatal("differential divergence not flagged")
+	}
+	rep.SparseDenseIdentical["M=800/default-cutoff"] = true
+	rep.Records[0].SparseLayout = false
+	if err := rep.InstanceRegression(); err == nil {
+		t.Fatal("densified scaling rung not flagged")
+	}
+	rep.Records[0].SparseLayout = true
+	rep.Reductions["InstanceBytes/M=100000"] = 3
+	if err := rep.InstanceRegression(); err == nil {
+		t.Fatal("footprint below the gate not flagged")
+	}
+}

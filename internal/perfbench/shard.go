@@ -3,6 +3,7 @@ package perfbench
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"reflect"
 	"runtime"
 	"testing"
@@ -30,15 +31,34 @@ import (
 // it. The cap is recorded in the report so the asymmetry is explicit.
 const SingleTileCapM = 4000
 
+// GlobalCapM bounds the instance size at which the global (tiles=0)
+// reference solve is still measured. Above it — the M=10⁵ rung — only
+// the sharded solver runs: that rung exists precisely because the
+// global solver cannot complete there in bench time, so the Speedups
+// entries stop at this cap and the record set above it is sharded-only.
+const GlobalCapM = 10000
+
+// ShardMinTilesAboveGlobalCap is the smallest tile count measured on
+// rungs past GlobalCapM: small tile counts approach the global solver's
+// cost and would dominate the suite's wall time without adding a
+// datapoint the lower rungs don't already have.
+const ShardMinTilesAboveGlobalCap = 8
+
 // ShardScales is the tracked instance ladder for the sharding
 // dimension; N tracks M at the paper's ~1:20 ratio like the Phase 1
-// ladder, with the top rung at the scale where the global solver's
-// superlinear eval count hurts most.
+// ladder. The top rung rides the CSR gain layout: its region grows by
+// sqrt(N/125) per axis (the paper's CBD density held constant, see
+// perfbench.InstanceScales) because the dense-era matrices at
+// N=5000×M=10⁵ would need 8 GB before the first move evaluation.
 func ShardScales() []experiment.Params {
 	var ps []experiment.Params
 	for _, m := range []int{2000, 4000, 10000} {
 		ps = append(ps, experiment.Params{N: m / 20, M: m, K: 5, Density: 1.0})
 	}
+	ps = append(ps, experiment.Params{
+		N: 5000, M: 100000, K: 5, Density: 1.0,
+		RegionScale: math.Sqrt(5000.0 / 125),
+	})
 	return ps
 }
 
@@ -73,12 +93,24 @@ type ShardRecord struct {
 	Updates     int `json:"updates"`
 	Evaluations int `json:"evaluations"`
 	// Halo-exchange accounting (sharded records with >1 tile).
-	SweepRounds      int  `json:"sweep_rounds,omitempty"`
-	SweepUpdates     int  `json:"sweep_updates,omitempty"`
-	SweepEvaluations int  `json:"sweep_evaluations,omitempty"`
-	HaloConverged    bool `json:"halo_converged,omitempty"`
-	HaloUsers        int  `json:"halo_users,omitempty"`
-	FrontierServers  int  `json:"frontier_servers,omitempty"`
+	SweepRounds       int  `json:"sweep_rounds,omitempty"`
+	SweepUpdates      int  `json:"sweep_updates,omitempty"`
+	SweepEvaluations  int  `json:"sweep_evaluations,omitempty"`
+	SweepSkippedTiles int  `json:"sweep_skipped_tiles,omitempty"`
+	HaloConverged     bool `json:"halo_converged,omitempty"`
+	HaloUsers         int  `json:"halo_users,omitempty"`
+	FrontierServers   int  `json:"frontier_servers,omitempty"`
+}
+
+// ShardInstanceLayout records the gain storage a rung's solves ran on
+// (see model.LayoutStats); the top rung is only representable sparse.
+type ShardInstanceLayout struct {
+	Sparse          bool    `json:"sparse"`
+	CutoffMeters    float64 `json:"cutoff_meters,omitempty"`
+	NNZ             int64   `json:"nnz"`
+	Density         float64 `json:"density"`
+	Bytes           int64   `json:"bytes"`
+	DenseEquivBytes int64   `json:"dense_equiv_bytes"`
 }
 
 // ShardReport is the BENCH_shard.json schema.
@@ -90,7 +122,11 @@ type ShardReport struct {
 	Seed           uint64        `json:"seed"`
 	HaloRounds     int           `json:"halo_rounds"`
 	SingleTileCapM int           `json:"single_tile_cap_m"`
+	GlobalCapM     int           `json:"global_cap_m"`
 	Records        []ShardRecord `json:"records"`
+	// InstanceLayouts maps "M=<m>" to the gain layout the rung's solves
+	// ran on.
+	InstanceLayouts map[string]ShardInstanceLayout `json:"instance_layouts"`
 	// Speedups maps "ShardSolve/M=<m>/tiles=<t>" to global-ns over
 	// sharded-ns on the same instance.
 	Speedups map[string]float64 `json:"speedups"`
@@ -151,6 +187,7 @@ func shardRecordOf(p experiment.Params, tiles int, wall time.Duration, res *core
 		rec.SweepRounds = st.SweepRounds
 		rec.SweepUpdates = st.SweepUpdates
 		rec.SweepEvaluations = st.SweepEvaluations
+		rec.SweepSkippedTiles = st.SweepSkippedTiles
 		rec.HaloConverged = st.HaloConverged
 		rec.HaloUsers = st.HaloUsers
 		rec.FrontierServers = st.FrontierServers
@@ -180,6 +217,8 @@ func RunShardScales(scales []experiment.Params, tiles []int, seed uint64, maxM i
 		Seed:                seed,
 		HaloRounds:          shard.DefaultHaloRounds,
 		SingleTileCapM:      SingleTileCapM,
+		GlobalCapM:          GlobalCapM,
+		InstanceLayouts:     map[string]ShardInstanceLayout{},
 		Speedups:            map[string]float64{},
 		SingleTileIdentical: map[string]bool{},
 		HotPathAllocs:       map[string]float64{},
@@ -194,14 +233,27 @@ func RunShardScales(scales []experiment.Params, tiles []int, seed uint64, maxM i
 		if err != nil {
 			return nil, fmt.Errorf("build instance %v: %w", p, err)
 		}
+		ls := in.LayoutStats()
+		rep.InstanceLayouts[fmt.Sprintf("M=%d", p.M)] = ShardInstanceLayout{
+			Sparse: ls.Sparse, CutoffMeters: float64(ls.Cutoff),
+			NNZ: ls.NNZ, Density: ls.Density,
+			Bytes: ls.Bytes, DenseEquivBytes: ls.DenseEquivBytes,
+		}
 
-		start := time.Now()
-		global := core.Solve(in, core.DefaultOptions())
-		gWall := time.Since(start)
-		rep.Records = append(rep.Records, shardRecordOf(p, 0, gWall, global))
-		logf("%-24s N=%-4d M=%-6d %10.2fs  rate=%.3f lat=%.2fms evals=%d",
-			"ShardSolve/global", p.N, p.M, gWall.Seconds(),
-			float64(global.AvgRate), global.AvgLatency.Millis(), global.Phase1.Evaluations)
+		var global *core.Result
+		var gWall time.Duration
+		if p.M <= GlobalCapM {
+			start := time.Now()
+			global = core.Solve(in, core.DefaultOptions())
+			gWall = time.Since(start)
+			rep.Records = append(rep.Records, shardRecordOf(p, 0, gWall, global))
+			logf("%-24s N=%-4d M=%-6d %10.2fs  rate=%.3f lat=%.2fms evals=%d",
+				"ShardSolve/global", p.N, p.M, gWall.Seconds(),
+				float64(global.AvgRate), global.AvgLatency.Millis(), global.Phase1.Evaluations)
+		} else {
+			logf("%-24s N=%-4d M=%-6d skipped (global cap M=%d)",
+				"ShardSolve/global", p.N, p.M, GlobalCapM)
+		}
 
 		for _, t := range tiles {
 			if t == 1 && p.M > SingleTileCapM {
@@ -209,18 +261,26 @@ func RunShardScales(scales []experiment.Params, tiles []int, seed uint64, maxM i
 					"ShardSolve/tiles=1", p.N, p.M, SingleTileCapM)
 				continue
 			}
+			if p.M > GlobalCapM && t < ShardMinTilesAboveGlobalCap {
+				logf("%-24s N=%-4d M=%-6d skipped (tiles<%d above global cap)",
+					fmt.Sprintf("ShardSolve/tiles=%d", t), p.N, p.M, ShardMinTilesAboveGlobalCap)
+				continue
+			}
 			opt := core.DefaultOptions()
 			opt.Shards = t
-			start = time.Now()
+			start := time.Now()
 			res := core.Solve(in, opt)
 			wall := time.Since(start)
 			rep.Records = append(rep.Records, shardRecordOf(p, t, wall, res))
-			rep.Speedups[fmt.Sprintf("ShardSolve/M=%d/tiles=%d", p.M, t)] =
-				gWall.Seconds() / wall.Seconds()
+			speedup := 0.0
+			if global != nil {
+				speedup = gWall.Seconds() / wall.Seconds()
+				rep.Speedups[fmt.Sprintf("ShardSolve/M=%d/tiles=%d", p.M, t)] = speedup
+			}
 			logf("%-24s N=%-4d M=%-6d %10.2fs  rate=%.3f lat=%.2fms evals=%d sweeps=%d (%.1fx)",
 				fmt.Sprintf("ShardSolve/tiles=%d", t), p.N, p.M, wall.Seconds(),
 				float64(res.AvgRate), res.AvgLatency.Millis(), res.Phase1.Evaluations,
-				res.Shard.SweepRounds, gWall.Seconds()/wall.Seconds())
+				res.Shard.SweepRounds, speedup)
 			if t == 1 {
 				same := reflect.DeepEqual(res.Strategy, global.Strategy) &&
 					res.AvgRate == global.AvgRate && res.AvgLatency == global.AvgLatency

@@ -8,12 +8,14 @@ import (
 	"idde/internal/experiment"
 )
 
-// TestShardScalesTrajectory pins the tracked sharding ladder: three
-// rungs at the paper's 1:20 server:user ratio, the full tile ladder,
-// and the single-tile cap below the top rung.
+// TestShardScalesTrajectory pins the tracked sharding ladder: four
+// rungs at the paper's 1:20 server:user ratio — the top one the
+// region-scaled M=10⁵ instance only the CSR layout can hold — the full
+// tile ladder, and the caps that shape the record set (single-tile
+// below the M=10⁴ rung, global reference below the top rung).
 func TestShardScalesTrajectory(t *testing.T) {
 	ps := ShardScales()
-	if len(ps) != 3 || ps[0].M != 2000 || ps[2].M != 10000 {
+	if len(ps) != 4 || ps[0].M != 2000 || ps[2].M != 10000 || ps[3].M != 100000 {
 		t.Fatalf("unexpected shard scale ladder: %v", ps)
 	}
 	for _, p := range ps {
@@ -21,12 +23,18 @@ func TestShardScalesTrajectory(t *testing.T) {
 			t.Fatalf("shard rung drifted from ladder conventions: %v", p)
 		}
 	}
+	if ps[3].RegionScale <= 1 {
+		t.Fatalf("top rung must scale the region to keep CBD density: %v", ps[3])
+	}
 	tiles := ShardTileLadder()
 	if len(tiles) == 0 || tiles[0] != 1 || tiles[len(tiles)-1] != 16 {
 		t.Fatalf("unexpected tile ladder: %v", tiles)
 	}
 	if SingleTileCapM >= ps[2].M {
-		t.Fatal("single-tile cap must exclude the top rung")
+		t.Fatal("single-tile cap must exclude the M=10⁴ rung")
+	}
+	if GlobalCapM >= ps[3].M || GlobalCapM < ps[2].M {
+		t.Fatalf("global cap %d must admit the M=10⁴ rung and exclude the top one", GlobalCapM)
 	}
 }
 
@@ -68,6 +76,10 @@ func TestRunShardSmoke(t *testing.T) {
 	}
 	if v := rep.HotPathAllocs["Ledger.Benefit/tile-view"]; v != 0 {
 		t.Fatalf("tile-view Benefit allocates: %.2f allocs/op", v)
+	}
+	layout, ok := rep.InstanceLayouts[fmt.Sprintf("M=%d", scales[0].M)]
+	if !ok || layout.NNZ == 0 || layout.DenseEquivBytes == 0 {
+		t.Fatalf("missing or degenerate instance layout record: %+v", rep.InstanceLayouts)
 	}
 	if err := rep.ShardRegression(); err != nil {
 		t.Fatalf("unexpected regression: %v", err)

@@ -58,7 +58,7 @@ type Result struct {
 }
 
 // evaluator computes rates under a mutable power vector, sharing the
-// instance's gain matrix and allocation registries.
+// instance's gain rows and allocation registries.
 type evaluator struct {
 	in     *model.Instance
 	alloc  model.Allocation
@@ -94,7 +94,8 @@ func (ev *evaluator) rate(j int) units.Rate {
 	if !a.Allocated() {
 		return 0
 	}
-	g := ev.in.Gain[a.Server][j]
+	gr := ev.in.GainRow(a.Server)
+	g := gr.At(j)
 	var intra float64
 	for _, t := range ev.users[a.Server][a.Channel] {
 		if t != j {
@@ -108,7 +109,7 @@ func (ev *evaluator) rate(j int) units.Rate {
 		}
 		for _, t := range ev.users[o][a.Channel] {
 			if t != j {
-				f += ev.in.Gain[a.Server][t] * float64(ev.powers[t])
+				f += gr.At(t) * float64(ev.powers[t])
 			}
 		}
 	}
@@ -195,8 +196,8 @@ func Tune(in *model.Instance, alloc model.Allocation, opt Options) (*Result, err
 
 // Apply builds a new instance with the tuned powers, for downstream
 // evaluation (delivery, simulation). The topology is copied; the gain
-// matrix is power-independent and could be shared, but model.New keeps
-// ownership simple by recomputing it.
+// rows are power-independent and could be shared, but model.New keeps
+// ownership simple by recomputing them.
 func Apply(in *model.Instance, powers []units.Watts) (*model.Instance, error) {
 	if len(powers) != in.M() {
 		return nil, fmt.Errorf("power: %d powers for %d users", len(powers), in.M())

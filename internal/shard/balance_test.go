@@ -1,0 +1,148 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"idde/internal/geo"
+	"idde/internal/graph"
+	"idde/internal/model"
+	"idde/internal/radio"
+	"idde/internal/topology"
+	"idde/internal/units"
+	"idde/internal/workload"
+)
+
+// lineInstance builds a chain of overlapping servers at x = 0, 600,
+// 1200, … (radius 400, so neighbouring disks overlap into one coverage
+// component) with counts[i] users placed just beside server i — each
+// user covered by its own server only, so ownership equals placement.
+func lineInstance(t *testing.T, counts []int) *model.Instance {
+	t.Helper()
+	n := len(counts)
+	top := &topology.Topology{
+		Region:    geo.Rect{MinX: -500, MinY: -500, MaxX: 600 * float64(n), MaxY: 500},
+		Net:       graph.New(n),
+		CloudRate: 600,
+	}
+	for i := 0; i < n; i++ {
+		top.Servers = append(top.Servers, topology.Server{
+			ID: i, Pos: geo.Point{X: 600 * float64(i), Y: 0},
+			Radius: 400, Channels: 3, Bandwidth: 200,
+		})
+		if i > 0 {
+			top.Net.AddEdge(i-1, i, units.PerMB(3000))
+		}
+	}
+	id := 0
+	for i, c := range counts {
+		for u := 0; u < c; u++ {
+			top.Users = append(top.Users, topology.User{
+				ID: id, Pos: geo.Point{X: 600*float64(i) + float64(u%10), Y: float64(u / 10)},
+				Power: 2, MaxRate: 200,
+			})
+			id++
+		}
+	}
+	if err := top.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([][]int, id)
+	for j := range reqs {
+		reqs[j] = []int{0}
+	}
+	caps := make([]units.MegaBytes, n)
+	for i := range caps {
+		caps[i] = 100
+	}
+	wl := &workload.Workload{
+		Items:    []workload.Item{{ID: 0, Size: 30}},
+		Requests: reqs,
+		Capacity: caps,
+	}
+	in, err := model.New(top, wl, radio.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestWeightedSplitBalancesOwnedUsers: with the users piled onto one end
+// of the chain, the split must cut at the owned-user weighted median —
+// isolating the heavy server — instead of halving the server list
+// (which would leave a 92-vs-4 user imbalance here).
+func TestWeightedSplitBalancesOwnedUsers(t *testing.T) {
+	in := lineInstance(t, []int{90, 2, 2, 2})
+	p := MakePartition(in, 2)
+	if len(p.Tiles) != 2 {
+		t.Fatalf("got %d tiles", len(p.Tiles))
+	}
+	if !reflect.DeepEqual(p.Tiles[0].Servers, []int{0}) ||
+		!reflect.DeepEqual(p.Tiles[1].Servers, []int{1, 2, 3}) {
+		t.Fatalf("split servers %v / %v, want [0] / [1 2 3]",
+			p.Tiles[0].Servers, p.Tiles[1].Servers)
+	}
+	st := statsOf(p)
+	if st.MaxTileUsers != 90 || st.MinTileUsers != 6 {
+		t.Fatalf("tile user balance %d/%d, want 90/6", st.MaxTileUsers, st.MinTileUsers)
+	}
+}
+
+// TestWeightedSplitUniformWeightsMatchesBisection: with one user per
+// server the weighted median degenerates to the old server-count
+// bisection, so legacy partition shapes are preserved.
+func TestWeightedSplitUniformWeightsMatchesBisection(t *testing.T) {
+	in := lineInstance(t, []int{2, 2, 2, 2})
+	p := MakePartition(in, 2)
+	if !reflect.DeepEqual(p.Tiles[0].Servers, []int{0, 1}) ||
+		!reflect.DeepEqual(p.Tiles[1].Servers, []int{2, 3}) {
+		t.Fatalf("split servers %v / %v, want [0 1] / [2 3]",
+			p.Tiles[0].Servers, p.Tiles[1].Servers)
+	}
+}
+
+// TestWeightedSplitInvariant: every two-way split of a single coverage
+// component lands within the weighted-median guarantee — the heavier
+// side exceeds half the component's owned users by at most the load of
+// one indivisible server (the server straddling the median).
+func TestWeightedSplitInvariant(t *testing.T) {
+	for _, seed := range []uint64{3, 7, 21} {
+		in := buildInstance(t, params{N: 24, M: 300, K: 5}, seed)
+		owner := nearestCoveringServers(in)
+		weight := make([]int, in.N())
+		for _, s := range owner {
+			if s >= 0 {
+				weight[int(s)]++
+			}
+		}
+		comps := coverageComponents(in)
+		for ci, comp := range comps {
+			if len(comp) < 2 {
+				continue
+			}
+			total, wmax := 0, 0
+			for _, i := range comp {
+				total += weight[i]
+				if weight[i] > wmax {
+					wmax = weight[i]
+				}
+			}
+			a, b := splitComponent(in, comp, weight)
+			if len(a) == 0 || len(b) == 0 {
+				t.Fatalf("seed %d comp %d: empty split side", seed, ci)
+			}
+			wa := 0
+			for _, i := range a {
+				wa += weight[i]
+			}
+			heavier := wa
+			if total-wa > heavier {
+				heavier = total - wa
+			}
+			if 2*(heavier-wmax) > total {
+				t.Fatalf("seed %d comp %d: heavier side %d of %d exceeds median bound (wmax %d)",
+					seed, ci, heavier, total, wmax)
+			}
+		}
+	}
+}

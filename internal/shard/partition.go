@@ -72,9 +72,11 @@ func (p *Partition) NumFrontier() int {
 // MakePartition tiles the instance into (at most) the requested number
 // of tiles. Servers whose coverage disks overlap are grouped into
 // connected components via the geo spatial hash; components are then
-// deterministically merged (smallest first) or split (largest first,
-// along the longer bounding-box axis) until the target count is reached.
-// Requesting more tiles than servers yields one tile per server.
+// deterministically merged (smallest first) or split (heaviest first by
+// owned-user count, at the owned-user weighted median of the longer
+// bounding-box axis — a coordinate-median cut leaves ~2× user imbalance
+// on clustered layouts) until the target count is reached. Requesting
+// more tiles than servers yields one tile per server.
 func MakePartition(in *model.Instance, tiles int) *Partition {
 	n := in.N()
 	if tiles < 1 {
@@ -84,8 +86,20 @@ func MakePartition(in *model.Instance, tiles int) *Partition {
 		tiles = n
 	}
 
+	// Ownership is decided before tiling: a user belongs to its nearest
+	// covering server (ties by lowest id), a pure function of the
+	// topology. The per-server owned-user counts are the weights the
+	// split balancing works with.
+	ownerServer := nearestCoveringServers(in)
+	weight := make([]int, n)
+	for _, s := range ownerServer {
+		if s >= 0 {
+			weight[s]++
+		}
+	}
+
 	comps := coverageComponents(in)
-	comps = adjustComponents(in, comps, tiles)
+	comps = adjustComponents(in, comps, tiles, weight)
 
 	// Canonical tile order: ascending minimum server id. Each
 	// component's server list is sorted ascending.
@@ -104,22 +118,15 @@ func MakePartition(in *model.Instance, tiles int) *Partition {
 		}
 	}
 
-	// Ownership: nearest covering server, ties by server id. Coverage
-	// lists are ascending, so strict < keeps the lowest id on ties.
+	// Ownership: nearest covering server, ties by server id (computed
+	// above). Users covered by nobody fall to tile 0.
 	top := in.Top
 	for j := 0; j < in.M(); j++ {
-		cov := top.Coverage[j]
-		if len(cov) == 0 {
+		if s := ownerServer[j]; s >= 0 {
+			p.Owner[j] = p.ServerTile[s]
+		} else {
 			p.Owner[j] = 0
-			continue
 		}
-		best := cov[0]
-		for _, i := range cov[1:] {
-			if top.Dist[i][j] < top.Dist[best][j] {
-				best = i
-			}
-		}
-		p.Owner[j] = p.ServerTile[best]
 	}
 	for j := 0; j < in.M(); j++ {
 		t := p.Owner[j]
@@ -153,6 +160,31 @@ func MakePartition(in *model.Instance, tiles int) *Partition {
 		}
 	}
 	return p
+}
+
+// nearestCoveringServers maps every user to its nearest covering server
+// (ties by lowest server id, matching the ascending Coverage order with
+// a strict < comparison), or −1 for users covered by nobody. The rule is
+// a pure function of the topology, so ownership — and with it the whole
+// partition — is deterministic.
+func nearestCoveringServers(in *model.Instance) []int32 {
+	top := in.Top
+	owner := make([]int32, in.M())
+	for j := 0; j < in.M(); j++ {
+		cov := top.Coverage[j]
+		if len(cov) == 0 {
+			owner[j] = -1
+			continue
+		}
+		best := cov[0]
+		for _, i := range cov[1:] {
+			if top.Distance(i, j) < top.Distance(best, j) {
+				best = i
+			}
+		}
+		owner[j] = int32(best)
+	}
+	return owner
 }
 
 // coverageComponents unions servers whose coverage disks overlap
@@ -230,31 +262,44 @@ func coverageComponents(in *model.Instance) [][]int {
 
 // adjustComponents merges or splits components to hit the target count.
 // Merging folds the smallest component (ties by min id) into the next
-// smallest; splitting cuts the largest component at the coordinate
-// median of its longer bounding-box axis. Both loops are deterministic.
-func adjustComponents(in *model.Instance, comps [][]int, target int) [][]int {
+// smallest; splitting cuts the heaviest component — by total owned-user
+// weight, ties by server count then min id — at the weighted median of
+// its longer bounding-box axis. Both loops are deterministic.
+func adjustComponents(in *model.Instance, comps [][]int, target int, weight []int) [][]int {
 	for len(comps) > target {
 		sortComps(comps)
 		merged := append(append([]int(nil), comps[0]...), comps[1]...)
 		sort.Ints(merged)
 		comps = append([][]int{merged}, comps[2:]...)
 	}
+	compWeight := func(c []int) int {
+		w := 0
+		for _, i := range c {
+			w += weight[i]
+		}
+		return w
+	}
 	for len(comps) < target {
-		// Split the largest splittable component.
-		idx := -1
+		// Split the heaviest splittable component. Weight is the
+		// owned-user count: splitting for server count alone can leave a
+		// dense tile holding most of the users (and most of the solve
+		// time) while empty tiles idle.
+		idx, idxW := -1, -1
 		for c := range comps {
 			if len(comps[c]) < 2 {
 				continue
 			}
-			if idx < 0 || len(comps[c]) > len(comps[idx]) ||
-				(len(comps[c]) == len(comps[idx]) && comps[c][0] < comps[idx][0]) {
-				idx = c
+			w := compWeight(comps[c])
+			if idx < 0 || w > idxW ||
+				(w == idxW && (len(comps[c]) > len(comps[idx]) ||
+					(len(comps[c]) == len(comps[idx]) && comps[c][0] < comps[idx][0]))) {
+				idx, idxW = c, w
 			}
 		}
 		if idx < 0 {
 			break // nothing splittable: fewer tiles than requested
 		}
-		a, b := splitComponent(in, comps[idx])
+		a, b := splitComponent(in, comps[idx], weight)
 		comps = append(comps[:idx], comps[idx+1:]...)
 		comps = append(comps, a, b)
 	}
@@ -271,10 +316,14 @@ func sortComps(comps [][]int) {
 	})
 }
 
-// splitComponent bisects a component's servers at the median of the
-// longer bounding-box axis, ties broken by the other coordinate then by
-// id — a total order, so the cut is unique.
-func splitComponent(in *model.Instance, servers []int) (a, b []int) {
+// splitComponent bisects a component's servers at the owned-user
+// weighted median of the longer bounding-box axis: servers are ordered
+// by that axis (ties by the other coordinate then by id — a total
+// order, so the cut is unique) and the cut falls after the first prefix
+// holding at least half the component's owned users, clamped so both
+// halves are non-empty. With uniform weights this degenerates to the
+// old coordinate-median bisection.
+func splitComponent(in *model.Instance, servers []int, weight []int) (a, b []int) {
 	top := in.Top
 	minX, maxX := top.Servers[servers[0]].Pos.X, top.Servers[servers[0]].Pos.X
 	minY, maxY := top.Servers[servers[0]].Pos.Y, top.Servers[servers[0]].Pos.Y
@@ -300,9 +349,29 @@ func splitComponent(in *model.Instance, servers []int) (a, b []int) {
 		}
 		return order[u] < order[v]
 	})
-	half := (len(order) + 1) / 2
-	a = append([]int(nil), order[:half]...)
-	b = append([]int(nil), order[half:]...)
+	total := 0
+	for _, i := range order {
+		total += weight[i]
+	}
+	cut := (len(order) + 1) / 2 // unweighted bisection when no users are owned
+	if total > 0 {
+		cum := 0
+		for c, i := range order {
+			cum += weight[i]
+			if 2*cum >= total {
+				cut = c + 1
+				break
+			}
+		}
+	}
+	if cut < 1 {
+		cut = 1
+	}
+	if cut > len(order)-1 {
+		cut = len(order) - 1
+	}
+	a = append([]int(nil), order[:cut]...)
+	b = append([]int(nil), order[cut:]...)
 	sort.Ints(a)
 	sort.Ints(b)
 	return a, b

@@ -189,7 +189,7 @@ func TestMakePartitionNearestOwnership(t *testing.T) {
 		}
 		best := cov[0]
 		for _, i := range cov[1:] {
-			if in.Top.Dist[i][j] < in.Top.Dist[best][j] {
+			if in.Top.Distance(i, j) < in.Top.Distance(best, j) {
 				best = i
 			}
 		}

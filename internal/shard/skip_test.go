@@ -1,0 +1,48 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSweepSkipDifferential pins the halo-exchange early exit: skipping
+// clean tiles must not change a single committed move, so the full
+// result — allocation, delivery, objectives, sweep dynamics — matches
+// the NoSweepSkip reference exactly; only the skip counter may differ.
+func TestSweepSkipDifferential(t *testing.T) {
+	skippedSomewhere := false
+	for _, seed := range []uint64{7, 21, 2022} {
+		in := buildInstance(t, params{N: 24, M: 300, K: 5}, seed)
+		for _, tiles := range []int{2, 4, 6} {
+			// Extra rounds make the later (usually quiet) sweeps visible
+			// to the skip logic.
+			fast := Solve(in, Config{Tiles: tiles, HaloRounds: 4})
+			ref := Solve(in, Config{Tiles: tiles, HaloRounds: 4, NoSweepSkip: true})
+			if ref.Stats.SweepSkippedTiles != 0 {
+				t.Fatalf("seed %d tiles=%d: NoSweepSkip run reported skips", seed, tiles)
+			}
+			got, want := fast.Stats, ref.Stats
+			got.SweepSkippedTiles, want.SweepSkippedTiles = 0, 0
+			// A skipped tile is exactly a saved no-op scan: commits are
+			// identical, evaluations drop.
+			if got.SweepEvaluations > want.SweepEvaluations {
+				t.Fatalf("seed %d tiles=%d: skip run evaluated more (%d > %d)",
+					seed, tiles, got.SweepEvaluations, want.SweepEvaluations)
+			}
+			got.SweepEvaluations, want.SweepEvaluations = 0, 0
+			if !reflect.DeepEqual(fast.Alloc, ref.Alloc) ||
+				!reflect.DeepEqual(fast.Delivery, ref.Delivery) ||
+				fast.AvgRate != ref.AvgRate ||
+				fast.Phase1 != ref.Phase1 ||
+				got != want {
+				t.Fatalf("seed %d tiles=%d: sweep skip changed the solve", seed, tiles)
+			}
+			if fast.Stats.SweepSkippedTiles > 0 {
+				skippedSomewhere = true
+			}
+		}
+	}
+	if !skippedSomewhere {
+		t.Fatal("no configuration ever skipped a tile — the early exit is dead code")
+	}
+}

@@ -38,6 +38,12 @@ type Config struct {
 	// unlimited, negative = skip the extra pass; the replica replay that
 	// rebuilds the oracle state always runs).
 	ReconcileCommits int
+	// NoSweepSkip disables the halo-exchange early exit that skips a
+	// tile's repair sweep when no cross-tile commit since its last run
+	// could have perturbed any of its players. The skip preserves the
+	// fixpoint exactly (see runExchange); the flag exists for the
+	// differential tests that pin that claim.
+	NoSweepSkip bool
 	// Workers caps concurrent tile workers (0 = GOMAXPROCS). The result
 	// is independent of the cap: tiles write disjoint state and merge in
 	// tile order.
@@ -89,6 +95,11 @@ type Stats struct {
 	SweepUpdates     int
 	SweepEvaluations int
 	HaloConverged    bool
+	// SweepSkippedTiles counts tile repair runs the exchange skipped
+	// because the tile was clean: it converged on its previous run and no
+	// cross-tile commit since then touched a server covering any of its
+	// players.
+	SweepSkippedTiles int
 	// ReconcileReplicas and ReconcileGain report the final global CELF
 	// re-commit pass (zero for a single tile: the tile solve is already
 	// globally greedy-optimal, so no candidate has positive gain).
@@ -534,6 +545,17 @@ func runTiles(tiles, workers int, fn func(t int)) {
 // winner-takes-all cascade — one commit per round re-evaluating the
 // whole perturbed neighbourhood — that would otherwise cost more than
 // the tile solves saved.
+// The early exit: a tile is "clean" when its last repair run reached the
+// engine's fixpoint and no commit since then moved a user onto or off a
+// server covering any of the tile's players — player q's Eq. 12 benefit
+// reads only occupancy of servers in V_q, so such a tile would
+// best-respond to an unchanged landscape and commit nothing. Skipping it
+// drops the (large) no-op evaluation scan without changing a single
+// commit, so the committed move sequence — and therefore the fixpoint —
+// is bit-identical to the unskipped exchange (pinned by the differential
+// tests; Config.NoSweepSkip forces the unskipped path). Dirty marking is
+// conservative: after each tile run, every user whose allocation changed
+// marks the owning tiles of all users covered by its old and new servers.
 func runExchange(in *model.Instance, p *Partition, l *model.Ledger, restricted [][]int, cfg Config, sc *obs.Scope, st *Stats) bool {
 	rounds := cfg.HaloRounds
 	if rounds == 0 {
@@ -543,12 +565,32 @@ func runExchange(in *model.Instance, p *Partition, l *model.Ledger, restricted [
 		return false
 	}
 	local := make([]int32, in.M())
+	dirty := make([]bool, len(p.Tiles))
+	for t := range dirty {
+		dirty[t] = true
+	}
+	prev := make([]model.Alloc, 0, in.M())
+	markCovered := func(s int, self int) {
+		for _, q := range in.Top.Covered[s] {
+			if t := p.Owner[q]; int(t) != self {
+				dirty[t] = true
+			}
+		}
+	}
 	for sweep := 0; sweep < rounds; sweep++ {
 		st.SweepRounds++
 		updates := 0
-		for _, tile := range p.Tiles {
+		for ti, tile := range p.Tiles {
+			if !dirty[ti] && !cfg.NoSweepSkip {
+				st.SweepSkippedTiles++
+				continue
+			}
 			for idx, j := range tile.Users {
 				local[j] = int32(idx + 1)
+			}
+			prev = prev[:0]
+			for _, j := range tile.Users {
+				prev = append(prev, l.Current(j))
 			}
 			opt := cfg.Game
 			opt.Policy = game.RoundRobin
@@ -559,6 +601,23 @@ func runExchange(in *model.Instance, p *Partition, l *model.Ledger, restricted [
 			updates += gs.Updates
 			st.SweepUpdates += gs.Updates
 			st.SweepEvaluations += gs.Evaluations
+			// Clean only on a true fixpoint: a run that "converged" with
+			// frozen players (engine per-player move caps) is not one —
+			// the next run hands those players fresh budgets and they
+			// move again, so such a tile must stay dirty.
+			dirty[ti] = !gs.Converged || gs.Frozen > 0
+			for idx, j := range tile.Users {
+				cur := l.Current(j)
+				if cur == prev[idx] {
+					continue
+				}
+				if prev[idx].Allocated() {
+					markCovered(prev[idx].Server, ti)
+				}
+				if cur.Allocated() && (!prev[idx].Allocated() || cur.Server != prev[idx].Server) {
+					markCovered(cur.Server, ti)
+				}
+			}
 			for _, j := range tile.Users {
 				local[j] = 0
 			}
@@ -569,6 +628,9 @@ func runExchange(in *model.Instance, p *Partition, l *model.Ledger, restricted [
 			})
 		}
 		if updates == 0 {
+			// Ran tiles committed nothing and skipped tiles were clean —
+			// by the skip argument every player is best-responding, a
+			// block-coordinate fixpoint.
 			return true
 		}
 	}
@@ -748,6 +810,7 @@ func publishShardStats(sc *obs.Scope, res *Result) {
 	sc.SetGauge("shard_last_frontier_servers", float64(res.Stats.FrontierServers))
 	sc.Count("shard_sweep_rounds_total", int64(res.Stats.SweepRounds))
 	sc.Count("shard_sweep_updates_total", int64(res.Stats.SweepUpdates))
+	sc.Count("shard_sweep_skipped_tiles_total", int64(res.Stats.SweepSkippedTiles))
 	sc.Count("shard_reconcile_replicas_total", int64(res.Stats.ReconcileReplicas))
 	if res.Stats.HaloConverged {
 		sc.Count("shard_halo_converged_total", 1)

@@ -121,8 +121,36 @@ func placeServers(t *Topology, cfg GenConfig, s *rng.Stream) {
 }
 
 // placeUsers mixes clustered and uniform user positions, guaranteeing
-// every user lies inside at least one coverage disk.
+// every user lies inside at least one coverage disk. The covered checks
+// run against a spatial hash of the server centers — an existence test,
+// so the grid's unspecified neighbour order cannot perturb the draw
+// sequence — keeping placement O(M) instead of O(N·M) at the scaling
+// rungs.
 func placeUsers(t *Topology, cfg GenConfig, s *rng.Stream) error {
+	var rmax float64
+	for _, sv := range t.Servers {
+		if r := float64(sv.Radius); r > rmax {
+			rmax = r
+		}
+	}
+	cell := rmax
+	if cell <= 0 {
+		cell = 1
+	}
+	grid := geo.NewGrid(cell)
+	for i, sv := range t.Servers {
+		grid.Insert(i, sv.Pos)
+	}
+	covered := func(p geo.Point) bool {
+		for _, i := range grid.Within(p, units.Meters(rmax)) {
+			sv := t.Servers[i]
+			if (geo.Disk{Center: sv.Pos, Radius: sv.Radius}).Covers(p) {
+				return true
+			}
+		}
+		return false
+	}
+
 	m := cfg.Users
 	t.Users = make([]User, m)
 	const maxTries = 10000
@@ -139,7 +167,7 @@ func placeUsers(t *Topology, cfg GenConfig, s *rng.Stream) error {
 			})
 			// Clamping can push the point outside every disk in corner
 			// cases; fall through to the covered check below.
-			if !coveredByAny(t, pos) {
+			if !covered(pos) {
 				pos = sv.Pos // degenerate but always covered
 			}
 		} else {
@@ -149,7 +177,7 @@ func placeUsers(t *Topology, cfg GenConfig, s *rng.Stream) error {
 					X: s.Uniform(cfg.Region.MinX, cfg.Region.MaxX),
 					Y: s.Uniform(cfg.Region.MinY, cfg.Region.MaxY),
 				}
-				if coveredByAny(t, pos) {
+				if covered(pos) {
 					ok = true
 					break
 				}
@@ -166,13 +194,4 @@ func placeUsers(t *Topology, cfg GenConfig, s *rng.Stream) error {
 		}
 	}
 	return nil
-}
-
-func coveredByAny(t *Topology, p geo.Point) bool {
-	for _, sv := range t.Servers {
-		if (geo.Disk{Center: sv.Pos, Radius: sv.Radius}).Covers(p) {
-			return true
-		}
-	}
-	return false
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 
 	"idde/internal/geo"
 	"idde/internal/graph"
@@ -76,20 +77,49 @@ type Topology struct {
 	PathCost [][]units.SecondsPerMB `json:"-"`
 	// CloudCost is the per-MB cost of delivering from the cloud.
 	CloudCost units.SecondsPerMB `json:"-"`
-	// Dist[i][j] is the server-user distance matrix, used for channel
-	// gains (both the serving link g_{i,x,j} and the interference terms
-	// g_{i,x,t} of Eq. 2 need arbitrary server×user pairs).
-	Dist [][]units.Meters `json:"-"`
+
+	// finalized records that Finalize ran since the last structural
+	// mutation. Distances are not stored: an N×M matrix is the O(N·M)
+	// wall that kept instances off the M≥10⁵ rungs, and Distance
+	// recomputes the same geo.Dist expression on demand.
+	finalized bool
 }
 
 // N reports the number of edge servers; M the number of users.
 func (t *Topology) N() int { return len(t.Servers) }
 func (t *Topology) M() int { return len(t.Users) }
 
-// Finalize computes the derived state (coverage sets, distance matrix,
-// path costs) and validates the layout. It must be called after any
-// structural mutation.
+// Finalized reports whether Finalize has validated this topology.
+func (t *Topology) Finalized() bool { return t.finalized }
+
+// Distance reports the server-user distance d(v_i, u_j) — the quantity
+// channel gains are computed from (both the serving link g_{i,x,j} and
+// the interference terms g_{i,x,t} of Eq. 2 need arbitrary server×user
+// pairs). It is a pure function of the two positions, so computing it
+// on demand is bit-identical to reading the dense matrix earlier
+// revisions stored.
+func (t *Topology) Distance(i, j int) units.Meters {
+	return geo.Dist(t.Servers[i].Pos, t.Users[j].Pos)
+}
+
+// MaxRadius reports the largest server coverage radius (0 when there
+// are no servers) — the reach bound sparse gain layouts derive their
+// interference cutoff from.
+func (t *Topology) MaxRadius() units.Meters {
+	var rmax units.Meters
+	for _, sv := range t.Servers {
+		if sv.Radius > rmax {
+			rmax = sv.Radius
+		}
+	}
+	return rmax
+}
+
+// Finalize computes the derived state (coverage sets, path costs) and
+// validates the layout. It must be called after any structural
+// mutation.
 func (t *Topology) Finalize() error {
+	t.finalized = false
 	if t.Net == nil {
 		return errors.New("topology: nil network graph")
 	}
@@ -119,26 +149,43 @@ func (t *Topology) Finalize() error {
 		}
 	}
 
+	// Coverage via the spatial hash: O(N·query) instead of the O(N·M)
+	// scan. Each server asks the grid for the users inside its radius;
+	// the inclusive boundary (≤ r) matches Covers and the old dense
+	// scan. Covered lists are sorted ascending (Grid.Within order is
+	// unspecified) and Coverage lists inherit ascending server order
+	// from the outer loop.
 	n, m := t.N(), t.M()
-	t.Dist = make([][]units.Meters, n)
-	for i := range t.Dist {
-		t.Dist[i] = make([]units.Meters, m)
-		for j := range t.Dist[i] {
-			t.Dist[i][j] = geo.Dist(t.Servers[i].Pos, t.Users[j].Pos)
-		}
-	}
-
 	t.Coverage = make([][]int, m)
 	t.Covered = make([][]int, n)
-	for i := 0; i < n; i++ {
-		if t.Servers[i].Failed {
-			continue
+	if m > 0 {
+		cell := float64(t.MaxRadius())
+		if cell <= 0 {
+			cell = 1
 		}
-		r := float64(t.Servers[i].Radius)
+		grid := geo.NewGrid(cell)
 		for j := 0; j < m; j++ {
-			if float64(t.Dist[i][j]) <= r {
+			grid.Insert(j, t.Users[j].Pos)
+		}
+		for i := 0; i < n; i++ {
+			if t.Servers[i].Failed {
+				continue
+			}
+			// Within compares squared distances; Covers (and the old
+			// dense scan) compare the hypot. Query with a hair of
+			// margin and re-check with the exact Covers predicate so
+			// boundary users land on the same side either way.
+			us := grid.Within(t.Servers[i].Pos, t.Servers[i].Radius+1e-6)
+			sort.Ints(us)
+			kept := us[:0]
+			for _, j := range us {
+				if float64(t.Distance(i, j)) <= float64(t.Servers[i].Radius) {
+					kept = append(kept, j)
+				}
+			}
+			t.Covered[i] = kept
+			for _, j := range kept {
 				t.Coverage[j] = append(t.Coverage[j], i)
-				t.Covered[i] = append(t.Covered[i], j)
 			}
 		}
 	}
@@ -154,6 +201,7 @@ func (t *Topology) Finalize() error {
 			}
 		}
 	}
+	t.finalized = true
 	return nil
 }
 
@@ -166,7 +214,7 @@ func (t *Topology) Covers(i, j int) bool {
 	if t.Servers[i].Failed {
 		return false
 	}
-	return float64(t.Dist[i][j]) <= float64(t.Servers[i].Radius)
+	return float64(t.Distance(i, j)) <= float64(t.Servers[i].Radius)
 }
 
 // TotalChannels reports Σ_i |C_i|, the system's channel inventory.

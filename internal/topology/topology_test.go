@@ -67,7 +67,7 @@ func TestCoverageConsistency(t *testing.T) {
 	}
 	for i := range top.Servers {
 		for _, j := range top.Covered[i] {
-			if float64(top.Dist[i][j]) > float64(top.Servers[i].Radius) {
+			if float64(top.Distance(i, j)) > float64(top.Servers[i].Radius) {
 				t.Fatalf("covered user %d outside radius of server %d", j, i)
 			}
 		}
