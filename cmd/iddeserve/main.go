@@ -73,6 +73,14 @@ func realMain() int {
 		replanMin     = flag.Float64("replan-min", 2, "minimum virtual seconds between threshold re-plans")
 		waves         = flag.Int("waves", 2, "repair re-equilibration waves per re-plan")
 
+		sloOn        = flag.Bool("slo", true, "run the burn-rate SLO engine (availability + latency)")
+		sloAvail     = flag.Float64("slo-avail", 0.999, "availability SLO target in (0,1)")
+		sloLatTarget = flag.Float64("slo-lat-target", 0.99, "latency SLO target in (0,1)")
+		sloLatMs     = flag.Float64("slo-lat-ms", 0, "latency SLO threshold (ms); 0 = deadline/8")
+		flightRate   = flag.Float64("flight-rate", 0.05, "flight-recorder sampling rate in [0,1]; 0 disables")
+		flightCap    = flag.Int("flight-cap", 256, "flight-recorder exemplar ring capacity")
+		flightDump   = flag.String("flightdump", "", "write triggered flight dumps (SLO burns, breaker spikes, recovery-gate failures) to this JSONL file")
+
 		jsonOut         = flag.Bool("json", false, "emit the full soak report as JSON on stdout")
 		requireRecovery = flag.Bool("require-recovery", false, "exit non-zero unless breakers opened, the plan healed within -max-streak rounds, and nothing was dropped")
 		maxStreak       = flag.Int("max-streak", 6, "heal budget for -require-recovery, in rounds")
@@ -119,6 +127,26 @@ func realMain() int {
 		Waves:              *waves,
 		Faults:             faults,
 		Campaign:           camp,
+		FlightRate:         *flightRate,
+		FlightCap:          *flightCap,
+	}
+	if *sloOn {
+		opt.SLO = serve.SLOOptions{
+			Enabled:            true,
+			AvailabilityTarget: *sloAvail,
+			LatencyTarget:      *sloLatTarget,
+			LatencyThreshold:   units.Seconds(*sloLatMs / 1e3),
+		}
+	}
+	var dumpFile *os.File
+	if *flightDump != "" {
+		f, ferr := os.Create(*flightDump)
+		if ferr != nil {
+			return fatal(ferr)
+		}
+		defer f.Close()
+		dumpFile = f
+		opt.FlightSink = f
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -174,6 +202,15 @@ func realMain() int {
 	if *requireRecovery {
 		if msg := checkRecovery(rep, *maxStreak); msg != "" {
 			fmt.Fprintf(os.Stderr, "iddeserve: recovery gate FAILED: %s\n", msg)
+			if dumpFile != nil {
+				// Dump the exemplar ring so the failure ships its own
+				// request-level evidence.
+				if derr := eng.DumpFlight(dumpFile, "recovery-gate"); derr != nil {
+					fmt.Fprintf(os.Stderr, "iddeserve: flight dump: %v\n", derr)
+				} else {
+					fmt.Fprintf(os.Stderr, "iddeserve: flight recorder dumped to %s\n", *flightDump)
+				}
+			}
 			return 1
 		}
 		fmt.Fprintln(os.Stderr, "iddeserve: recovery gate passed")
@@ -282,6 +319,19 @@ func printSummary(rep *serve.SoakReport) {
 	for _, ps := range rep.Phases {
 		fmt.Printf("%-10s %7d %9d %8.2f %8.2f %8.2f %8.2f %8.2f\n",
 			ps.Phase, ps.Rounds, ps.Requests, ps.P50Ms, ps.P90Ms, ps.P99Ms, ps.P999Ms, ps.MaxMs)
+	}
+	for _, s := range rep.SLOs {
+		line := fmt.Sprintf("slo %-12s target %.3f compliance %.5f — max burn fast %.1f / slow %.1f, %d breaches",
+			s.Name, s.Target, s.Compliance, s.MaxFastBurn, s.MaxSlowBurn, s.Breaches)
+		if s.ThresholdMs > 0 {
+			line += fmt.Sprintf(" (<=%.0fms; est p50 %.1f / p99 %.1f / p999 %.1f ms)",
+				s.ThresholdMs, s.EstP50Ms, s.EstP99Ms, s.EstP999Ms)
+		}
+		fmt.Println(line)
+	}
+	if rep.FlightSampled > 0 || rep.FlightDumps > 0 {
+		fmt.Printf("flight: %d exemplars sampled, %d evicted, %d triggered dumps\n",
+			rep.FlightSampled, rep.FlightEvicted, rep.FlightDumps)
 	}
 	fmt.Printf("\noutcome hash %s (seed-stable with hedging off)\n", rep.OutcomeHash)
 }

@@ -10,6 +10,8 @@
 //	iddetrace -n 20 -m 100 -k 4 -seed 7      # any instance size
 //	iddetrace -out results                   # also write trace + timeline artifacts
 //	iddetrace -serve 127.0.0.1:6060          # live pprof/expvar//metrics while running
+//	iddetrace -flight flight.jsonl -out DIR  # render a serve flight dump as an
+//	                                         # exemplar waterfall (flight.chrome.json)
 //
 // With -out DIR it writes:
 //
@@ -57,8 +59,13 @@ func realMain() error {
 		stream    = flag.String("stream", "", "stream the trace to this JSONL file incrementally instead of buffering it in memory (for M>=1e5 runs; disables the post-run tables and -out trace artifacts)")
 		serveAddr = flag.String("serve", "", "serve live pprof/expvar//metrics on this address while running (optional)")
 		maxRows   = flag.Int("rows", 12, "max rows per printed markdown table (head+tail elision; CSVs are always complete)")
+		flight    = flag.String("flight", "", "render this serve flight dump (JSONL) as a Chrome-trace exemplar waterfall instead of running a solve")
 	)
 	flag.Parse()
+
+	if *flight != "" {
+		return renderFlight(*flight, *outDir, *maxRows)
+	}
 
 	p := experiment.Params{N: *n, M: *m, K: *k, Density: *density}
 	in, err := experiment.BuildInstance(p, *seed)
@@ -160,6 +167,99 @@ func realMain() error {
 		fmt.Fprintf(os.Stderr, "wrote metrics.txt to %s (trace streamed separately)\n", *outDir)
 	}
 	return nil
+}
+
+// renderFlight loads a flight JSONL dump (bare ring or triggered dumps),
+// prints an exemplar summary, and writes the Chrome-trace waterfall —
+// one process per round, one thread track per sampled request, one span
+// per attempt.
+func renderFlight(path, outDir string, maxRows int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, headers, err := obs.ReadFlightJSONL(f)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("flight dump %s holds no records", path)
+	}
+	for _, h := range headers {
+		fmt.Printf("dump %q at round %d (t=%.3gs): %d records\n", h.Dump, h.Round, h.NowS, h.Records)
+	}
+
+	var degraded, cloud, deadline, hedged int
+	worst := recs[0]
+	for _, r := range recs {
+		if r.Degraded {
+			degraded++
+		}
+		if r.Served < 0 {
+			cloud++
+		}
+		if r.DeadlineExceeded {
+			deadline++
+		}
+		if r.Hedged {
+			hedged++
+		}
+		if r.LatencyMs > worst.LatencyMs {
+			worst = r
+		}
+	}
+	fmt.Printf("flight: %d exemplars — %d degraded, %d cloud-served, %d deadline-exceeded, %d hedged\n",
+		len(recs), degraded, cloud, deadline, hedged)
+	fmt.Printf("worst exemplar: round %d idx %d u%d/k%d — %.2f ms over %d attempts (intended s%d, served %s)\n\n",
+		worst.Round, worst.Index, worst.User, worst.Item, worst.LatencyMs, len(worst.Attempts),
+		worst.Intended, serverLabel(worst.Served))
+
+	shown := len(recs)
+	if maxRows > 0 && shown > maxRows {
+		shown = maxRows
+	}
+	fmt.Println("| round | idx | user | item | served | lat(ms) | attempts | chain |")
+	fmt.Println("|---|---|---|---|---|---|---|---|")
+	for _, r := range recs[:shown] {
+		chain := ""
+		for i, at := range r.Attempts {
+			if i > 0 {
+				chain += " → "
+			}
+			chain += fmt.Sprintf("%s %s", at.Kind, serverLabel(at.Server))
+			if at.Breaker != "" && at.Breaker != "closed" {
+				chain += fmt.Sprintf("[%s]", at.Breaker)
+			}
+		}
+		fmt.Printf("| %d | %d | %d | %d | %s | %.2f | %d | %s |\n",
+			r.Round, r.Index, r.User, r.Item, serverLabel(r.Served), r.LatencyMs, len(r.Attempts), chain)
+	}
+	if shown < len(recs) {
+		fmt.Printf("… (%d more)\n", len(recs)-shown)
+	}
+
+	if outDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	out := filepath.Join(outDir, "flight.chrome.json")
+	if err := writeWith(out, func(w io.Writer) error {
+		return obs.WriteFlightChromeTrace(recs, w)
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d exemplar waterfalls)\n", out, len(recs))
+	return nil
+}
+
+func serverLabel(s int) string {
+	if s < 0 {
+		return "cloud"
+	}
+	return fmt.Sprintf("s%d", s)
 }
 
 func writeWith(path string, write func(w io.Writer) error) error {

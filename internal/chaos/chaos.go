@@ -131,6 +131,24 @@ func (c *Campaign) Validate(in *model.Instance) error {
 // changed, and to count "epochs to heal" against a recovery budget.
 func (c *Campaign) Boundaries() []units.Seconds { return c.epochs() }
 
+// EpochAt reports the index of the fault epoch containing time t — the
+// position of the latest boundary at or before t. Epoch 0 always starts
+// at time 0; a nil campaign has the single epoch 0. The serving data
+// plane keys its per-epoch SLO accounting on this index.
+func (c *Campaign) EpochAt(t units.Seconds) int {
+	if c == nil {
+		return 0
+	}
+	ep := 0
+	for i, b := range c.epochs() {
+		if b > t {
+			break
+		}
+		ep = i
+	}
+	return ep
+}
+
 // DegradationAt assembles the instantaneous fault state at time t — the
 // union of failed servers and cut links across active events, and the
 // most severe active brownout — as a repair.Degradation ready for

@@ -58,3 +58,24 @@ func TestHistogramObserveZeroAllocs(t *testing.T) {
 		t.Fatalf("Histogram.Observe allocates %.1f/op, want 0", n)
 	}
 }
+
+// TestFlightSampleZeroAllocs pins the flight recorder's per-request
+// gate: Sample is the only flight call the serving hot path makes for
+// unsampled requests (and for every request when sampling is off), so
+// both the nil-recorder and rate-0 forms must be allocation-free.
+func TestFlightSampleZeroAllocs(t *testing.T) {
+	var nilF *FlightRecorder
+	off := NewFlightRecorder(4, 64, 0, 42)
+	on := NewFlightRecorder(4, 64, 0.5, 42)
+	if n := testing.AllocsPerRun(1000, func() {
+		if nilF.Sample(123456789) {
+			t.Fatal("nil recorder sampled")
+		}
+		if off.Sample(123456789) {
+			t.Fatal("rate-0 recorder sampled")
+		}
+		on.Sample(123456789) // the decision itself is alloc-free either way
+	}); n != 0 {
+		t.Fatalf("FlightRecorder.Sample allocates %.1f/op, want 0", n)
+	}
+}

@@ -106,6 +106,61 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// histBucketLower reports bucket b's inclusive lower bound: 0 for
+// bucket 0 (which also absorbs negatives and NaN), 2^b otherwise.
+func histBucketLower(b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return math.Ldexp(1, b)
+}
+
+// Quantile estimates the p-quantile (p in [0,1]) of the observed
+// distribution from the log2 buckets, interpolating linearly within the
+// bucket that contains the target rank.
+//
+// Error bound: the true quantile and the estimate always lie in the same
+// bucket [2^b, 2^(b+1)), so the estimate is within one bucket width of
+// the truth — a relative error strictly below a factor of 2 for values
+// ≥ 2, and an absolute error below 2 for bucket 0 (values in [0,2); the
+// final bucket is interpolated over [2^62, 2^63) and clamps the far
+// tail). That is the precision the SLO burn-rate surfaces need: which
+// power-of-two regime the tail sits in, not its third significant digit.
+// With no observations it reports 0; p outside [0,1] is clamped.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(n)
+	var cum int64
+	buckets := h.Buckets()
+	for b, c := range buckets {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) >= rank {
+			lo := histBucketLower(b)
+			hi := math.Ldexp(1, b+1) // last bucket: interpolate over [2^62, 2^63)
+			frac := (rank - float64(prev)) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+	}
+	// Unreachable for n > 0; keep the zero-value contract anyway.
+	return 0
+}
+
 // Count reports the number of observations.
 func (h *Histogram) Count() int64 {
 	if h == nil {
@@ -215,7 +270,8 @@ func sortedKeys[V any](m map[string]V) []string {
 
 // Snapshot returns a deterministic flat view of every metric: counters
 // as int64, gauges as float64, histograms expanded to _count and _sum
-// entries. Used by the expvar publication and the tests.
+// entries plus _p50/_p99/_p999 Quantile estimates. Used by the expvar
+// publication and the tests.
 func (r *Registry) Snapshot() map[string]any {
 	out := map[string]any{}
 	if r == nil {
@@ -232,6 +288,9 @@ func (r *Registry) Snapshot() map[string]any {
 	for name, h := range r.hists {
 		out[name+"_count"] = h.Count()
 		out[name+"_sum"] = h.Sum()
+		out[name+"_p50"] = h.Quantile(0.50)
+		out[name+"_p99"] = h.Quantile(0.99)
+		out[name+"_p999"] = h.Quantile(0.999)
 	}
 	return out
 }

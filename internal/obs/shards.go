@@ -18,6 +18,9 @@ type TracerShards struct {
 }
 
 // NewTracerShards returns n independent tracers (n < 1 is treated as 1).
+// Shard i records its events with Tid i, so a merged Chrome trace
+// renders one track per worker (shard 0 matches the plain tracer's
+// default track, keeping one-shard merges byte-identical).
 func NewTracerShards(n int) *TracerShards {
 	if n < 1 {
 		n = 1
@@ -25,6 +28,7 @@ func NewTracerShards(n int) *TracerShards {
 	ts := &TracerShards{shards: make([]*Tracer, n)}
 	for i := range ts.shards {
 		ts.shards[i] = NewTracer()
+		ts.shards[i].tid = i
 	}
 	return ts
 }
@@ -81,15 +85,17 @@ func (ts *TracerShards) WriteJSONL(w io.Writer) error {
 }
 
 // MergeInto re-emits the merged events into dst, which assigns them
-// fresh consecutive ticks after whatever dst already holds. The sharded
-// solver uses it to fold tile-worker events back into the run's main
-// tracer once the workers have joined.
+// fresh consecutive ticks after whatever dst already holds. Each event
+// keeps its originating shard's Tid, so the merged Chrome trace still
+// renders per-worker tracks. The sharded solver uses it to fold
+// tile-worker events back into the run's main tracer once the workers
+// have joined.
 func (ts *TracerShards) MergeInto(dst *Tracer) {
 	if dst == nil {
 		return
 	}
 	for _, ev := range ts.Merged() {
-		dst.emit(ev.Ph, ev.Cat, ev.Name, ev.Args)
+		dst.record(ev)
 	}
 }
 

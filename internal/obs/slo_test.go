@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSLODefaults(t *testing.T) {
+	s := NewSLO(SLOConfig{Name: "availability"})
+	cfg := s.Config()
+	if cfg.Target != 0.999 || cfg.FastWindow != 5 || cfg.SlowWindow != 30 ||
+		cfg.FastBurn != 14.4 || cfg.SlowBurn != 6 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	var nilS *SLO
+	if st := nilS.Observe(1, 1); st.Breach {
+		t.Error("nil SLO breached")
+	}
+	if snap := nilS.Snapshot(); snap.Total != 0 {
+		t.Error("nil SLO snapshot not zero")
+	}
+}
+
+// TestSLOBurnRates pins the arithmetic: burn = window error rate divided
+// by the error budget (1 - target).
+func TestSLOBurnRates(t *testing.T) {
+	s := NewSLO(SLOConfig{Name: "avail", Target: 0.99, FastWindow: 2, SlowWindow: 4, FastBurn: 10, SlowBurn: 5})
+	// Perfect periods: burn 0.
+	for i := 0; i < 4; i++ {
+		if st := s.Observe(100, 100); st.FastBurn != 0 || st.SlowBurn != 0 || st.Breach {
+			t.Fatalf("healthy period %d: %+v", i, st)
+		}
+	}
+	// One period at 30% errors: fast window (2 periods) = 15% error rate
+	// -> burn 15; slow window (4 periods) = 7.5% -> burn 7.5. Both over
+	// threshold: breach.
+	st := s.Observe(70, 100)
+	if math.Abs(st.FastBurn-15) > 1e-9 || math.Abs(st.SlowBurn-7.5) > 1e-9 {
+		t.Fatalf("burns = %+v, want fast 15 slow 7.5", st)
+	}
+	if !st.Breach {
+		t.Fatal("both windows over threshold but no breach")
+	}
+	// Recovery: the first perfect period still has the incident inside
+	// the 2-period fast window (a second breach); the next one pushes it
+	// out while the slow window still remembers it.
+	s.Observe(100, 100)
+	st = s.Observe(100, 100)
+	if st.FastBurn != 0 {
+		t.Fatalf("fast burn %g after recovery, want 0", st.FastBurn)
+	}
+	if st.SlowBurn == 0 {
+		t.Fatal("slow window forgot the incident too early")
+	}
+	if st.Breach {
+		t.Fatal("breach without the fast window burning")
+	}
+
+	snap := s.Snapshot()
+	if snap.Total != 7*100 || snap.Good != 670 {
+		t.Fatalf("snapshot totals %d/%d", snap.Good, snap.Total)
+	}
+	if math.Abs(snap.Compliance-670.0/700) > 1e-12 {
+		t.Fatalf("compliance %g", snap.Compliance)
+	}
+	if snap.Breaches != 2 || math.Abs(snap.MaxFastBurn-15) > 1e-9 {
+		t.Fatalf("breaches=%d maxFast=%g", snap.Breaches, snap.MaxFastBurn)
+	}
+}
+
+// TestSLOFastOnlySpikeSuppressed: a single-period spike that the slow
+// window dilutes below threshold must not breach — the whole point of
+// the multi-window pairing.
+func TestSLOFastOnlySpikeSuppressed(t *testing.T) {
+	s := NewSLO(SLOConfig{Target: 0.99, FastWindow: 1, SlowWindow: 30, FastBurn: 10, SlowBurn: 5})
+	for i := 0; i < 29; i++ {
+		s.Observe(1000, 1000)
+	}
+	st := s.Observe(800, 1000) // fast burn 20, slow burn ~0.67
+	if st.FastBurn < 10 {
+		t.Fatalf("fast burn %g, want >= 10", st.FastBurn)
+	}
+	if st.Breach {
+		t.Fatal("one-period spike breached despite a calm slow window")
+	}
+}
+
+// TestSLOEmptyPeriods: rounds with zero traffic must not divide by zero
+// or fabricate burn.
+func TestSLOEmptyPeriods(t *testing.T) {
+	s := NewSLO(SLOConfig{Target: 0.999})
+	for i := 0; i < 10; i++ {
+		if st := s.Observe(0, 0); st.FastBurn != 0 || st.SlowBurn != 0 || st.Breach {
+			t.Fatalf("empty period %d: %+v", i, st)
+		}
+	}
+	if snap := s.Snapshot(); snap.Compliance != 0 || snap.Total != 0 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}

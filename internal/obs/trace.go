@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 )
 
@@ -20,10 +21,14 @@ const (
 // Args carries the event's attributes; encoding/json marshals the map
 // with sorted keys, keeping the serialized forms deterministic too.
 type Event struct {
-	Tick int64          `json:"tick"`
-	Ph   string         `json:"ph"`
-	Cat  string         `json:"cat"`
-	Name string         `json:"name"`
+	Tick int64  `json:"tick"`
+	Ph   string `json:"ph"`
+	Cat  string `json:"cat"`
+	Name string `json:"name"`
+	// Tid is the tracer shard that recorded the event (0 for a plain
+	// tracer, the tile-worker index for a TracerShards shard). It is
+	// omitted when zero, so single-tracer serializations are unchanged.
+	Tid  int            `json:"tid,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -39,6 +44,7 @@ type Event struct {
 type Tracer struct {
 	mu        sync.Mutex
 	tick      int64
+	tid       int
 	events    []Event
 	stream    io.Writer
 	streamErr error
@@ -48,8 +54,15 @@ type Tracer struct {
 func NewTracer() *Tracer { return &Tracer{} }
 
 func (t *Tracer) emit(ph, cat, name string, args map[string]any) {
+	t.record(Event{Ph: ph, Cat: cat, Name: name, Tid: t.tid, Args: args})
+}
+
+// record assigns the event the next logical tick and retains (or
+// streams) it, preserving every other field — the path the shard merge
+// uses to keep an event's originating shard id intact.
+func (t *Tracer) record(ev Event) {
 	t.mu.Lock()
-	ev := Event{Tick: t.tick, Ph: ph, Cat: cat, Name: name, Args: args}
+	ev.Tick = t.tick
 	t.tick++
 	if t.stream != nil {
 		if t.streamErr == nil {
@@ -167,7 +180,10 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		DisplayTimeUnit string        `json:"displayTimeUnit"`
 	}{TraceEvents: make([]chromeEvent, 0, len(events)), DisplayTimeUnit: "ms"}
 	for _, ev := range events {
-		ce := chromeEvent{Name: ev.Name, Cat: ev.Cat, Ph: ev.Ph, Ts: ev.Tick, Pid: 1, Tid: 1, Args: ev.Args}
+		// Tid carries the recording shard, so a TracerShards merge
+		// renders one track per tile worker in Perfetto instead of a
+		// single interleaved lane.
+		ce := chromeEvent{Name: ev.Name, Cat: ev.Cat, Ph: ev.Ph, Ts: ev.Tick, Pid: 1, Tid: ev.Tid, Args: ev.Args}
 		if ev.Ph == PhaseInstant {
 			ce.S = "t" // thread-scoped instant: renders as a tick mark
 		}
@@ -180,31 +196,44 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 // TimelineCSV renders the instant events matching (cat, name) as a CSV
 // table: one row per event, one column per attribute named in cols
 // (missing attributes render empty). It is the bridge from a recorded
-// trace to the convergence-timeline artifacts under results/.
+// trace to the convergence-timeline artifacts under results/. Fields are
+// escaped per RFC 4180, so string attributes carrying commas, quotes or
+// line breaks (error messages, labels) cannot corrupt the table.
 func (t *Tracer) TimelineCSV(cat, name string, cols []string) string {
-	out := ""
+	var b strings.Builder
 	for i, c := range cols {
 		if i > 0 {
-			out += ","
+			b.WriteByte(',')
 		}
-		out += c
+		b.WriteString(csvField(c))
 	}
-	out += "\n"
+	b.WriteByte('\n')
 	for _, ev := range t.Events() {
 		if ev.Ph != PhaseInstant || ev.Cat != cat || ev.Name != name {
 			continue
 		}
 		for i, c := range cols {
 			if i > 0 {
-				out += ","
+				b.WriteByte(',')
 			}
 			if v, ok := ev.Args[c]; ok {
-				out += formatAttr(v)
+				b.WriteString(csvField(formatAttr(v)))
 			}
 		}
-		out += "\n"
+		b.WriteByte('\n')
 	}
-	return out
+	return b.String()
+}
+
+// csvField escapes one CSV field per RFC 4180: fields containing a
+// comma, a double quote or a line break are wrapped in double quotes,
+// with embedded quotes doubled. Everything else passes through verbatim,
+// which keeps the numeric timelines byte-stable.
+func csvField(s string) string {
+	if !strings.ContainsAny(s, ",\"\r\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 }
 
 // formatAttr renders one attribute value the way the CSV and markdown

@@ -104,12 +104,16 @@ func RunServe(ctx context.Context, cfg ServeConfig, logf func(string, ...any)) (
 			}},
 			Faults: faults,
 		}
+		// SLO accounting rides along in the tracked baseline (flight
+		// sampling stays off — exemplar capture is a CLI/CI concern, and
+		// the soak numbers must measure the bare request path).
 		soak, err := serve.Run(ctx, in, st, serve.Options{
 			Seed:     cfg.Seed,
 			RPS:      cfg.RPS,
 			Duration: cfg.Duration,
 			Faults:   faults,
 			Campaign: camp,
+			SLO:      serve.SLOOptions{Enabled: true},
 		})
 		if err != nil {
 			return nil, err

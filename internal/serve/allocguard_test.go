@@ -1,0 +1,54 @@
+// Alloc guard for the flight recorder's sampling-off request path. The
+// race detector instruments allocations, so this only runs in the plain
+// tier-1 `go test ./...` pass.
+//
+//go:build !race
+
+package serve
+
+import (
+	"testing"
+
+	"idde/internal/obs"
+	"idde/internal/rng"
+)
+
+// TestSamplingOffPathZeroAllocs pins the tentpole's overhead contract:
+// the per-request cost of the flight recorder when a request is NOT
+// sampled — the Sample gate plus the rec==nil instrumentation gates
+// inside evalRequest — is exactly zero additional allocations.
+func TestSamplingOffPathZeroAllocs(t *testing.T) {
+	in := genInstance(t, 10, 60, 4, 11)
+	st := solved(t, in)
+	e, err := NewEngine(in, st, testOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.mu.Lock()
+	v, _, err := e.snapshotLocked(0)
+	e.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := requestPairs(in)
+	root := rng.New(1)
+
+	// Baseline: the request path with no recorder in the build at all.
+	measure := func(f *obs.FlightRecorder) float64 {
+		i := 0
+		return testing.AllocsPerRun(2000, func() {
+			s := root.SplitN("req", i)
+			if f.Sample(s.Seed()) {
+				t.Fatal("rate-0 recorder sampled")
+			}
+			p := pairs[i%len(pairs)]
+			evalRequest(v, p[0], p[1], s, nil)
+			i++
+		})
+	}
+	baseline := measure(nil)
+	gated := measure(obs.NewFlightRecorder(4, 64, 0, 1))
+	if gated != baseline {
+		t.Fatalf("sampling-off gate costs %.2f allocs/op (baseline %.2f), want 0 extra", gated, baseline)
+	}
+}

@@ -27,6 +27,8 @@ type stateView struct {
 // Handler exposes the engine's live control surface:
 //
 //	GET  /state   — virtual clock, plan epoch, breaker states, health
+//	GET  /slo     — burn-rate snapshots of every configured SLO
+//	GET  /flight  — the flight recorder's exemplar ring as JSONL
 //	POST /inject  — append a fault event to the live campaign at the
 //	                current virtual time (the chaos hook):
 //	                  kind=link-cut&link=U,V[&duration=S]
@@ -59,6 +61,18 @@ func (e *Engine) Handler() http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(sv)
 	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(e.SLOSnapshots())
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := e.flight.WriteJSONL(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.HandleFunc("/inject", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST required", http.StatusMethodNotAllowed)
@@ -84,6 +98,8 @@ func (e *Engine) Serve(addr string) error {
 	mux := http.NewServeMux()
 	h := e.Handler()
 	mux.Handle("/state", h)
+	mux.Handle("/slo", h)
+	mux.Handle("/flight", h)
 	mux.Handle("/inject", h)
 	mux.Handle("/", obs.Handler(e.sc))
 	return http.ListenAndServe(addr, mux)

@@ -103,9 +103,19 @@ type SoakReport struct {
 	MaxDegradedStreak int  `json:"max_degraded_streak"`
 	HealedAtEnd       bool `json:"healed_at_end"`
 
+	// SLOs is the burn-rate engine's final accounting (availability,
+	// latency), per chaos epoch; empty when Options.SLO is disabled.
+	SLOs []SLOReport `json:"slos,omitempty"`
+	// FlightSampled/FlightEvicted/FlightDumps account the flight
+	// recorder: exemplars merged into the ring, exemplars the capacity
+	// bound dropped again, and triggered dumps written to the sink.
+	FlightSampled int64 `json:"flight_sampled,omitempty"`
+	FlightEvicted int64 `json:"flight_evicted,omitempty"`
+	FlightDumps   int64 `json:"flight_dumps,omitempty"`
+
 	// OutcomeHash fingerprints every request outcome in fold order;
 	// equal seeds (with hedging off) must produce equal hashes for any
-	// worker count.
+	// worker count, with flight sampling on or off.
 	OutcomeHash string `json:"outcome_hash"`
 
 	WallSeconds float64 `json:"wall_seconds"`
@@ -243,6 +253,10 @@ func (sr *SoakReport) finish(e *Engine, wall time.Duration, hash hashWriter) {
 	sr.ReplanErrors = e.stats.replanErrors
 	e.mu.Unlock()
 	sr.FinalEpoch = e.plan.load().Epoch
+	sr.SLOs = e.sloReports()
+	sr.FlightSampled = e.flight.Sampled()
+	sr.FlightEvicted = e.flight.Evicted()
+	sr.FlightDumps = e.flightDumps
 	sr.HealedAtEnd = sr.lastDegraded == 0
 	sr.Dropped = sr.Issued - sr.Served
 	sr.OutcomeHash = fmt.Sprintf("%016x", hash.Sum64())

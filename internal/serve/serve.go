@@ -34,8 +34,10 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"math"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -105,6 +107,21 @@ type Options struct {
 	// Obs receives the data plane's telemetry. nil disables all of it;
 	// outcomes are identical either way.
 	Obs *obs.Scope
+	// SLO configures the burn-rate engine (availability + latency
+	// objectives evaluated at every round barrier and per chaos epoch).
+	// Disabled by default; outcomes are identical either way.
+	SLO SLOOptions
+	// FlightRate samples requests into the flight recorder with this
+	// probability (deterministic, label-derived — see obs.FlightRecorder).
+	// 0 disables the recorder entirely; outcomes and OutcomeHash are
+	// identical at any rate.
+	FlightRate float64
+	// FlightCap bounds the flight recorder's exemplar ring (default 256).
+	FlightCap int
+	// FlightSink receives triggered flight dumps as JSONL (SLO burn-rate
+	// crossings and breaker-open spikes). nil disables triggered dumps;
+	// the ring remains readable via Engine.DumpFlight and GET /flight.
+	FlightSink io.Writer
 
 	// repairFn overrides repair.RepairDegraded in tests (panic
 	// isolation, failure injection into the re-planner itself).
@@ -149,6 +166,10 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Campaign != nil && !o.Faults.Enabled() {
 		o.Faults = o.Campaign.Faults
+	}
+	o.SLO = o.SLO.withDefaults(o.Deadline)
+	if o.FlightCap <= 0 {
+		o.FlightCap = 256
 	}
 	if o.repairFn == nil {
 		o.repairFn = repair.RepairDegraded
@@ -211,6 +232,20 @@ type Engine struct {
 	breaker []*Breaker
 	sc      *obs.Scope
 
+	// Flight recorder + SLO engine. flight is nil when FlightRate is 0
+	// (the allocation-free disabled state); slos is empty when SLO is
+	// disabled. sloMu guards slos/latHist/epoch accounting against the
+	// live front-end's /slo reads racing the round barrier's writes.
+	flight      *obs.FlightRecorder
+	flightSink  io.Writer
+	sloMu       sync.Mutex
+	slos        []*obs.SLO // [0] availability, [1] latency
+	latHist     *obs.Histogram
+	epochStarts []units.Seconds
+	epochCells  [][]epochCell // [slo][epoch]
+	prevOpen    int
+	flightDumps int64
+
 	mu           sync.Mutex // guards campaign, fv, now, health, stats
 	campaign     *chaos.Campaign
 	fv           *model.Instance
@@ -255,6 +290,31 @@ func NewEngine(healthy *model.Instance, st model.Strategy, opt Options) (*Engine
 	e.breaker = make([]*Breaker, healthy.N())
 	for i := range e.breaker {
 		e.breaker[i] = NewBreaker(opt.Breaker)
+	}
+	if opt.FlightRate > 0 {
+		e.flight = obs.NewFlightRecorder(opt.Workers, opt.FlightCap, opt.FlightRate, opt.Seed)
+	}
+	e.flightSink = opt.FlightSink
+	if opt.SLO.Enabled {
+		e.slos = []*obs.SLO{
+			obs.NewSLO(obs.SLOConfig{
+				Name: "availability", Target: opt.SLO.AvailabilityTarget,
+				FastWindow: opt.SLO.FastWindow, SlowWindow: opt.SLO.SlowWindow,
+				FastBurn: opt.SLO.FastBurn, SlowBurn: opt.SLO.SlowBurn,
+			}),
+			obs.NewSLO(obs.SLOConfig{
+				Name: "latency", Target: opt.SLO.LatencyTarget,
+				FastWindow: opt.SLO.FastWindow, SlowWindow: opt.SLO.SlowWindow,
+				FastBurn: opt.SLO.FastBurn, SlowBurn: opt.SLO.SlowBurn,
+			}),
+		}
+		e.latHist = &obs.Histogram{}
+		e.epochCells = make([][]epochCell, len(e.slos))
+		if opt.Campaign != nil {
+			e.epochStarts = opt.Campaign.Boundaries()
+		} else {
+			e.epochStarts = []units.Seconds{0}
+		}
 	}
 	e.campaign = opt.Campaign
 	e.plan.store(&Plan{Epoch: 0, In: healthy, Strategy: st})
@@ -400,7 +460,14 @@ func (e *Engine) fvStale(now units.Seconds) bool {
 // is what makes outcomes independent of worker interleaving. The draw
 // order within the stream is part of the determinism contract — do not
 // reorder draws without regenerating baselines.
-func evalRequest(v *view, j, k int, s *rng.Stream) RequestOutcome {
+//
+// rec, when non-nil, receives the request's flight record: the full
+// attempt chain with the breaker state observed at each admission, the
+// retries burned and deadline budget remaining per hop, hedge raced/won,
+// and the Eq. 17 degradation pricing. Every instrumentation append is
+// gated on rec, so the rec==nil path (sampling off, or an unsampled
+// request) does exactly the work it did before the recorder existed.
+func evalRequest(v *view, j, k int, s *rng.Stream, rec *obs.FlightRecord) RequestOutcome {
 	opt := v.opt
 	plan := v.plan
 	st := plan.Strategy
@@ -438,18 +505,46 @@ func evalRequest(v *view, j, k int, s *rng.Stream) RequestOutcome {
 	tried := map[int]bool{}
 	skip := func(o int) bool { return tried[o] || !admit(o) }
 
+	// hop appends one attempt to the flight record (no-op when the
+	// request is unsampled). Call it after latency has absorbed the hop,
+	// so BudgetMs is the deadline budget remaining once the hop is done.
+	hop := func(server int, kind string, retries int, hopLat units.Seconds, ok bool) {
+		if rec == nil {
+			return
+		}
+		br := ""
+		if server >= 0 {
+			br = v.brState[server].String()
+		}
+		rec.Attempts = append(rec.Attempts, obs.FlightAttempt{
+			Server: server, Kind: kind, Breaker: br, Retries: retries,
+			LatencyMs: hopLat.Millis(), BudgetMs: (opt.Deadline - latency).Millis(), OK: ok,
+		})
+	}
+	// hopKind classifies an edge hop: the first source visited is the
+	// plan's Eq. 8 primary, every later one is an Eq. 8 failover hop.
+	hopKind := func() string {
+		if len(tried) > 0 {
+			return "failover"
+		}
+		return "edge"
+	}
+
 	serveCloud := func() {
-		latency += v.fv.CloudLatency(k)
+		cl := v.fv.CloudLatency(k)
+		latency += cl
 		out.Served = -1
 		if len(tried) > 0 {
 			out.CloudFallback = true
 		}
+		hop(-1, "cloud", 0, cl, true)
 	}
 
 	if !a.Allocated() || attachmentDown {
 		serveCloud()
 		out.Latency = latency
 		finishOutcome(&out, intendedEdge, intendedLat, size, attachmentDown)
+		fillFlight(rec, &out)
 		return out
 	}
 
@@ -461,6 +556,7 @@ func evalRequest(v *view, j, k int, s *rng.Stream) RequestOutcome {
 			serveCloud()
 			break
 		}
+		kind := hopKind()
 		if src == dst || st.Mode != model.Collaborative {
 			// Replica at the attachment server (or over-the-air
 			// delivery): no wired hop, so the wired fault model does not
@@ -469,12 +565,14 @@ func evalRequest(v *view, j, k int, s *rng.Stream) RequestOutcome {
 				out.visits = append(out.visits, visit{server: src, ok: false})
 				out.Failovers++
 				latency += opt.Backoff // connection-refused detection cost
+				hop(src, kind, 0, opt.Backoff, false)
 				tried[src] = true
 				continue
 			}
 			out.Served = src
 			servedEdge = true
 			out.visits = append(out.visits, visit{server: src, ok: true})
+			hop(src, kind, 0, 0, true)
 			break
 		}
 
@@ -487,9 +585,11 @@ func evalRequest(v *view, j, k int, s *rng.Stream) RequestOutcome {
 			out.visits = append(out.visits, visit{server: src, ok: false})
 			out.Failovers++
 			latency += opt.Backoff
+			hop(src, kind, 0, opt.Backoff, false)
 			tried[src] = true
 			continue
 		}
+		hopStart, retriesBefore := latency, out.Retries
 		ok := false
 		for attempt := 0; attempt <= opt.MaxRetries; attempt++ {
 			attemptLat := edgeLat
@@ -512,6 +612,7 @@ func evalRequest(v *view, j, k int, s *rng.Stream) RequestOutcome {
 				break
 			}
 		}
+		hop(src, kind, out.Retries-retriesBefore, latency-hopStart, ok)
 		if ok {
 			out.Served = src
 			servedEdge = true
@@ -538,14 +639,20 @@ func evalRequest(v *view, j, k int, s *rng.Stream) RequestOutcome {
 				if opt.Faults.StallProb > 0 && s.Bool(opt.Faults.StallProb) {
 					hLat += opt.Faults.StallTime
 				}
+				won := false
 				if !s.Bool(opt.Faults.LossProb) {
 					total := opt.Hedge + hLat
 					if total < latency {
 						latency = total
 						out.Served = hsrc
 						out.Hedged = true
+						won = true
 						out.visits = append(out.visits, visit{server: hsrc, ok: true})
 					}
+				}
+				if rec != nil {
+					rec.Hedged = true // a shadow attempt was actually raced
+					hop(hsrc, "hedge", 0, hLat, won)
 				}
 			}
 		}
@@ -553,7 +660,29 @@ func evalRequest(v *view, j, k int, s *rng.Stream) RequestOutcome {
 
 	out.Latency = latency
 	finishOutcome(&out, intendedEdge, intendedLat, size, attachmentDown)
+	fillFlight(rec, &out)
 	return out
+}
+
+// fillFlight copies the resolved outcome into the request's flight
+// record. Round and Index were stamped by the sampler; Hedged/Attempts
+// were accumulated along the way.
+func fillFlight(rec *obs.FlightRecord, o *RequestOutcome) {
+	if rec == nil {
+		return
+	}
+	rec.User, rec.Item = o.User, o.Item
+	rec.Intended, rec.Served = o.Intended, o.Served
+	rec.Retries, rec.Failovers = o.Retries, o.Failovers
+	if o.Hedged {
+		rec.Hedged, rec.HedgeWon = true, true
+	}
+	rec.CloudFallback = o.CloudFallback
+	rec.DeadlineExceeded = o.DeadlineExceeded
+	rec.Degraded = o.Degraded
+	rec.LatencyMs = o.Latency.Millis()
+	rec.LatencyDeltaMs = o.LatencyDelta.Millis()
+	rec.BackhaulMB = float64(o.BackhaulMB)
 }
 
 // finishOutcome derives the degradation accounting shared by every exit
@@ -680,18 +809,30 @@ func (e *Engine) RunSoak(ctx context.Context) (*SoakReport, error) {
 				break
 			}
 			wg.Add(1)
-			go func(lo, hi int) {
+			go func(w, lo, hi int) {
 				defer wg.Done()
+				sh := e.flight.Shard(w)
 				for i := lo; i < hi; i++ {
 					s := root.SplitN("req", base+i)
-					outcomes[i] = evalRequest(v, reqs[i][0], reqs[i][1], s)
+					// The sampling decision hashes the stream's seed — a
+					// pure function of the global request index — so the
+					// sampled set is identical at any worker count and no
+					// rng draw is consumed (outcomes are unchanged).
+					var rec *obs.FlightRecord
+					if e.flight.Sample(s.Seed()) {
+						rec = &obs.FlightRecord{Round: r, Index: i}
+					}
+					outcomes[i] = evalRequest(v, reqs[i][0], reqs[i][1], s, rec)
+					if rec != nil {
+						sh.Add(*rec)
+					}
 				}
-			}(lo, hi)
+			}(w, lo, hi)
 		}
 		wg.Wait()
 
 		// Barrier fold, in request order: breakers, health, metrics,
-		// degradation accounting, hash.
+		// degradation accounting, hash, flight merge, SLO burn rates.
 		agg := e.foldRound(r, now, outcomes, hash, rep)
 
 		// Threshold-triggered re-plan under bounded staleness.
@@ -724,6 +865,7 @@ type roundAgg struct {
 	cloudFallbacks, deadlineExceeded       int
 	hedged, cloudServed                    int
 	open                                   int
+	latencyOK                              int // requests at or under the latency SLO threshold
 	latencySum                             float64
 	latencyDeltaS                          float64
 	backhaulMB                             float64
@@ -754,6 +896,9 @@ func (e *Engine) foldRound(r int, now units.Seconds, outcomes []RequestOutcome, 
 		if o.Served < 0 {
 			agg.cloudServed++
 		}
+		if o.Latency <= e.opt.SLO.LatencyThreshold {
+			agg.latencyOK++
+		}
 		if o.Degraded {
 			agg.degraded++
 			agg.latencyDeltaS += float64(o.LatencyDelta)
@@ -768,6 +913,7 @@ func (e *Engine) foldRound(r int, now units.Seconds, outcomes []RequestOutcome, 
 			}
 			e.health[vs.server] = (1-healthGamma)*h + healthGamma*target
 		}
+		e.observeLatencySLO(o.Latency)
 		rep.observeOutcome(o)
 		writeOutcomeHash(hash, r, i, o)
 	}
@@ -776,6 +922,22 @@ func (e *Engine) foldRound(r int, now units.Seconds, outcomes []RequestOutcome, 
 			agg.open++
 		}
 	}
+
+	// Flight merge + SLO burn rates, then triggered dumps. The merge is
+	// the only point records enter the ring (and the only point eviction
+	// happens), so the retained exemplar set is worker-count-independent.
+	e.flight.MergeRound()
+	reasons := e.observeSLOs(now, agg)
+	if agg.open > e.prevOpen {
+		reasons = append(reasons, "breaker-spike")
+	}
+	e.prevOpen = agg.open
+	if len(reasons) > 0 && e.flight != nil && e.flightSink != nil {
+		if err := e.flight.WriteDump(e.flightSink, strings.Join(reasons, "+"), r, float64(now)); err == nil {
+			e.flightDumps++
+		}
+	}
+
 	if sc := e.sc; sc.Enabled() {
 		sc.Count("serve_requests_total", int64(agg.requests))
 		sc.Count("serve_retries_total", int64(agg.retries))
